@@ -1,0 +1,67 @@
+"""Benchmark scales.
+
+Default ("smoke") scales keep the whole harness under a few minutes on a
+laptop; set ``REPRO_SCALE=full`` for paper-sized runs (the paper used a
+3.8 GHz Xeon and a Java implementation, so full runs take a while in pure
+Python).  Every bench reads its sizes from here so the two modes stay
+consistent.
+"""
+
+from __future__ import annotations
+
+import os
+
+SCALE = os.environ.get("REPRO_SCALE", "smoke")
+FULL = SCALE == "full"
+
+
+def pick(smoke, full):
+    """Return the smoke or full value depending on REPRO_SCALE."""
+    return full if FULL else smoke
+
+
+# --- MUP identification sweeps (Figures 12-16) -------------------------
+AIRBNB_N = pick(30_000, 1_000_000)
+AIRBNB_D = pick(11, 15)
+THRESHOLD_RATES = pick(
+    [1e-4, 1e-3, 1e-2],
+    [1e-6, 1e-5, 1e-4, 1e-3, 1e-2],
+)
+APRIORI_RATE = pick(1e-2, 1e-2)  # the one rate APRIORI is run at
+
+BLUENILE_N = pick(30_000, 116_300)
+BLUENILE_RATES = pick([1e-4, 1e-3, 1e-2], [1e-5, 1e-4, 1e-3, 1e-2])
+
+DATASIZE_SWEEP = pick(
+    [1_000, 10_000, 30_000],
+    [10_000, 100_000, 1_000_000],
+)
+DATASIZE_RATE = pick(1e-3, 1e-3)
+
+DIMENSION_SWEEP = pick([5, 7, 9, 11], [5, 7, 9, 11, 13, 15, 17])
+DIMENSION_RATE = pick(1e-3, 1e-3)
+
+LEVEL_LIMITED_DIMS = pick([10, 15, 20, 25, 30, 35], [10, 15, 20, 25, 30, 35])
+LEVEL_LIMITS = pick([2, 3], [2, 4, 6, 8])
+LEVEL_LIMITED_N = pick(30_000, 1_000_000)
+# A higher rate than the dimension sweep so shallow (level <= 2) MUPs exist
+# at every d — the regime Figure 16 is about.
+LEVEL_LIMITED_RATE = pick(1e-2, 1e-3)
+
+# --- Coverage enhancement sweeps (Figures 17-19) -----------------------
+ENHANCE_N = pick(30_000, 1_000_000)
+ENHANCE_D = pick(11, 13)
+# Smoke rates sit higher than the identification sweep because at n=30K the
+# shallow (level <= 5) uncovered patterns the enhancement experiments hit
+# only appear once τ reaches a few hundred.
+ENHANCE_RATES = pick([3e-3, 1e-2, 3e-2], [1e-6, 1e-5, 1e-4, 1e-3, 1e-2])
+ENHANCE_LEVELS = pick([4, 5], [3, 4, 5, 6])
+ENHANCE_DIM_SWEEP = pick([5, 9, 11], [5, 10, 15, 20, 25, 30, 35])
+ENHANCE_DIM_RATE = pick(3e-2, 1e-2)
+NAIVE_ENHANCE_D = pick(9, 13)  # the one setting the naive baseline runs at
+
+# --- Validation / quality experiments ----------------------------------
+COMPAS_THRESHOLD = 10
+FIG6_N = 1_000
+FIG6_D = 13
+FIG6_TAU = 50

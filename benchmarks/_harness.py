@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one table or figure from the paper's
+evaluation section: it computes the same series the paper plots, prints it
+as an aligned table (so ``pytest benchmarks/ --benchmark-only -s`` shows the
+rows), and appends it to ``benchmarks/results/`` as JSON for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro._util import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Run ``fn`` once; return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def emit(figure: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a figure's series and persist it under benchmarks/results/."""
+    rows = [list(r) for r in rows]
+    print()
+    print(f"=== {figure} ===")
+    print(format_table(headers, rows))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"figure": figure, "headers": list(headers), "rows": rows}
+    path = RESULTS_DIR / f"{figure.split(' ')[0].lower().replace('.', '')}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def fmt_rate(rate: float) -> str:
+    return f"{rate:g}"

@@ -1,0 +1,73 @@
+"""Extension — incremental MUP maintenance vs recompute-from-scratch.
+
+Between acquisitions, a dataset owner receives small deliveries of new
+tuples.  `IncrementalMupIndex` repairs the MUP set by searching only below
+the MUPs a delivery resolved; this bench compares that against re-running
+DEEPDIVER from scratch after every delivery.
+"""
+
+import numpy as np
+
+from _harness import emit, timed
+
+from repro.core.incremental import IncrementalMupIndex
+from repro.core.mups import deepdiver
+from repro.data.airbnb import load_airbnb
+
+N = 20_000
+D = 10
+TAU = 20
+DELIVERIES = 8
+DELIVERY_SIZE = 5
+
+
+def _deliveries(dataset):
+    rng = np.random.default_rng(41)
+    batches = []
+    for _ in range(DELIVERIES):
+        batches.append(
+            [
+                tuple(int(rng.integers(0, c)) for c in dataset.cardinalities)
+                for _ in range(DELIVERY_SIZE)
+            ]
+        )
+    return batches
+
+
+def test_incremental_vs_recompute(benchmark):
+    dataset = load_airbnb(n=N, d=D)
+    batches = _deliveries(dataset)
+
+    def incremental_run():
+        index = IncrementalMupIndex(dataset, threshold=TAU)
+        snapshots = []
+        for batch in batches:
+            index.add_rows(batch)
+            snapshots.append(set(index.mups()))
+        return index, snapshots
+
+    (index, snapshots), incremental_seconds = benchmark.pedantic(
+        timed, args=(incremental_run,), rounds=1, iterations=1
+    )
+
+    def recompute_run():
+        current = dataset
+        snapshots = []
+        for batch in batches:
+            current = current.append_rows(batch)
+            snapshots.append(deepdiver(current, TAU).as_set())
+        return snapshots
+
+    scratch_snapshots, scratch_seconds = timed(recompute_run)
+
+    # Correctness first: every snapshot must match the scratch answer.
+    assert snapshots == scratch_snapshots
+    emit(
+        f"Ext.incremental MUP maintenance ({DELIVERIES} deliveries of "
+        f"{DELIVERY_SIZE} rows, n={N} d={D} tau={TAU})",
+        ["strategy", "seconds (incl. initial identification)"],
+        [
+            ("incremental repair", f"{incremental_seconds:.2f}"),
+            ("recompute each delivery", f"{scratch_seconds:.2f}"),
+        ],
+    )

@@ -1,0 +1,69 @@
+"""Figure 13 — MUP identification vs threshold rate (BlueNile).
+
+Paper setting: the real catalog (116,300 diamonds, 7 attributes with
+cardinalities 10,4,7,8,3,3,5).  Paper shape: DEEPDIVER wins at every rate
+and PATTERN-COMBINER is always slowest — the bottom level of this
+high-cardinality pattern graph alone has >100K nodes, which is exactly the
+bottom-up algorithm's fixed cost.
+"""
+
+import pytest
+
+import _config as config
+from _harness import emit, fmt_rate, timed
+
+from repro.core.coverage import CoverageOracle
+from repro.core.mups import deepdiver, pattern_breaker, pattern_combiner
+from repro.core.pattern_graph import PatternSpace
+
+ALGORITHMS = [
+    ("PATTERN-BREAKER", pattern_breaker),
+    ("PATTERN-COMBINER", pattern_combiner),
+    ("DEEPDIVER", deepdiver),
+]
+
+
+def test_fig13_series(benchmark, bluenile):
+    oracle = CoverageOracle(bluenile)
+    space = PatternSpace.for_dataset(bluenile)
+    # The paper's observation about the graph's width at the bottom level.
+    assert space.combination_count() > 100_000
+    rows = []
+    combiner_seconds = {}
+    other_seconds = {}
+
+    def sweep():
+        for rate in config.BLUENILE_RATES:
+            tau = oracle.threshold_from_rate(rate)
+            reference = None
+            for name, fn in ALGORITHMS:
+                result, seconds = timed(fn, bluenile, tau)
+                if reference is None:
+                    reference = result.as_set()
+                else:
+                    assert result.as_set() == reference, f"{name} disagrees at {rate}"
+                rows.append((fmt_rate(rate), tau, name, f"{seconds:.2f}", len(result)))
+                if name == "PATTERN-COMBINER":
+                    combiner_seconds[rate] = seconds
+                else:
+                    other_seconds.setdefault(rate, []).append(seconds)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"Fig.13 MUP identification vs threshold (BlueNile n={bluenile.n} d=7)",
+        ["rate", "tau", "algorithm", "seconds", "mups"],
+        rows,
+    )
+    # Paper shape: the bottom-up algorithm pays the >100K-node bottom level
+    # as a fixed cost, so once the rest of the graph is cheap (high rates,
+    # MUPs near the top) it loses by a wide margin.
+    high = max(config.BLUENILE_RATES)
+    assert combiner_seconds[high] > max(other_seconds[high])
+
+
+@pytest.mark.parametrize("name,fn", ALGORITHMS, ids=[a for a, _ in ALGORITHMS])
+def test_fig13_benchmark(benchmark, bluenile, name, fn):
+    oracle = CoverageOracle(bluenile)
+    tau = oracle.threshold_from_rate(config.BLUENILE_RATES[0])
+    result = benchmark.pedantic(fn, args=(bluenile, tau), rounds=1, iterations=1)
+    assert result.threshold == tau

@@ -1,0 +1,64 @@
+"""Figure 18 — coverage enhancement vs number of attributes (AirBnB).
+
+Paper setting: n=1M, τ=1%, d from 5 to 35, λ from 3 to 6 (λ-limited MUP
+discovery feeds the hitting set).  Paper shape: runtime grows with d and
+with λ, but stays practical for the shallow λ values that matter most.
+"""
+
+import pytest
+
+import _config as config
+from _harness import emit, timed
+
+from repro.core.coverage import CoverageOracle
+from repro.core.enhancement import greedy_cover, uncovered_at_level
+from repro.core.mups import deepdiver
+from repro.core.pattern_graph import PatternSpace
+from repro.data.airbnb import load_airbnb
+
+
+def _plan_for(d: int, level: int):
+    dataset = load_airbnb(n=config.AIRBNB_N, d=d)
+    oracle = CoverageOracle(dataset)
+    tau = oracle.threshold_from_rate(config.ENHANCE_DIM_RATE)
+    mups = deepdiver(dataset, tau, max_level=level).mups
+    space = PatternSpace.for_dataset(dataset)
+    targets = uncovered_at_level(mups, space, level)
+    return targets, space
+
+
+def test_fig18_series(benchmark):
+    rows = []
+    seconds_by_level = {level: [] for level in config.ENHANCE_LEVELS}
+
+    def sweep():
+        for d in config.ENHANCE_DIM_SWEEP:
+            for level in config.ENHANCE_LEVELS:
+                if level > d:
+                    continue
+                targets, space = _plan_for(d, level)
+                plan, seconds = timed(greedy_cover, targets, space)
+                seconds_by_level[level].append(seconds)
+                rows.append(
+                    (d, level, f"{seconds:.2f}", len(targets), len(plan.combinations))
+                )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"Fig.18 coverage enhancement vs dimensions (AirBnB n={config.AIRBNB_N}, "
+        f"rate={config.ENHANCE_DIM_RATE:g})",
+        ["d", "lambda", "seconds", "targets", "collected"],
+        rows,
+    )
+    # Paper shape: for the largest d, higher λ costs at least as much.
+    levels = sorted(level for level in config.ENHANCE_LEVELS if seconds_by_level[level])
+    if len(levels) >= 2:
+        assert seconds_by_level[levels[0]][-1] <= seconds_by_level[levels[-1]][-1] * 1.25
+
+
+@pytest.mark.parametrize("d", [max(config.ENHANCE_DIM_SWEEP)])
+def test_fig18_benchmark(benchmark, d):
+    level = min(config.ENHANCE_LEVELS + [d])
+    targets, space = _plan_for(d, level)
+    plan = benchmark.pedantic(greedy_cover, args=(targets, space), rounds=1, iterations=1)
+    assert plan.targets == len(targets)

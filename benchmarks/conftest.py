@@ -1,0 +1,25 @@
+"""Benchmark-session fixtures: shared datasets built once per run."""
+
+from __future__ import annotations
+
+import pytest
+
+import _config as config
+from repro.data.airbnb import load_airbnb
+from repro.data.bluenile import load_bluenile
+from repro.data.compas import load_compas
+
+
+@pytest.fixture(scope="session")
+def airbnb():
+    return load_airbnb(n=config.AIRBNB_N, d=config.AIRBNB_D)
+
+
+@pytest.fixture(scope="session")
+def bluenile():
+    return load_bluenile(n=config.BLUENILE_N)
+
+
+@pytest.fixture(scope="session")
+def compas():
+    return load_compas()

@@ -1,0 +1,48 @@
+"""Nutritional-label coverage widget for a large listings dataset (§I, §V).
+
+Run with::
+
+    python examples/airbnb_nutrition_label.py
+
+Generates an AirBnB-like dataset (60K listings, 13 boolean amenities),
+prints the coverage widget at several thresholds, and reproduces the
+bell-shaped MUP level distribution of Figure 6 on the n=1000, τ=50 setting.
+"""
+
+from repro import find_mups
+from repro.analysis import coverage_label
+from repro.data.airbnb import load_airbnb
+
+
+def main() -> None:
+    dataset = load_airbnb(n=60_000, d=13)
+
+    print("Coverage widget at increasing thresholds:")
+    for rate in (0.0001, 0.001, 0.01):
+        result = find_mups(dataset, threshold_rate=rate, algorithm="deepdiver")
+        threshold = result.threshold
+        label = coverage_label(dataset, threshold=threshold, result=result)
+        print()
+        print(f"--- τ = {threshold} ({rate:.4%} of n) ---")
+        print(label.render())
+
+    # Figure 6's setting: 1000 listings, 13 attributes, τ = 50.
+    small = load_airbnb(n=1_000, d=13)
+    result = find_mups(small, threshold=50, algorithm="deepdiver")
+    print()
+    print("Figure 6 — MUP level distribution (n=1000, d=13, τ=50):")
+    histogram = result.level_histogram()
+    peak = max(histogram.values())
+    for level in range(14):
+        count = histogram.get(level, 0)
+        bar = "#" * max(1, round(40 * count / peak)) if count else ""
+        print(f"  level {level:2d}  {count:6d}  {bar}")
+    print(
+        "\nThe distribution is bell-shaped: covering every MUP is hopeless, "
+        "but only a handful of (dangerous) MUPs live at levels 1-2 — "
+        "exactly the ones coverage enhancement targets."
+    )
+
+
+if __name__ == "__main__":
+    main()

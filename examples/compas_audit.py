@@ -1,0 +1,101 @@
+"""The paper's COMPAS case study (§V-B), end to end.
+
+Run with::
+
+    python examples/compas_audit.py
+
+1. Find the MUPs of the COMPAS-like dataset over (sex, age, race,
+   marital status) at τ = 10 and surface the widowed-Hispanic gap (XX23).
+2. Train a decision tree to predict recidivism; show that overall accuracy
+   looks fine while the Hispanic-female subgroup is mispredicted, and that
+   remedying coverage fixes the subgroup without hurting overall accuracy
+   (Figure 11).
+3. Plan the data acquisition with a human-configured validation oracle
+   (§V-B3): no "unknown" marital status, no married/widowed/... under-20s.
+"""
+
+import numpy as np
+
+from repro import ValidationOracle, find_mups, mup_report
+from repro.core.enhancement import greedy_cover, uncovered_at_level
+from repro.core.pattern_graph import PatternSpace
+from repro.data.compas import load_compas
+from repro.ml import cross_validate, subgroup_coverage_experiment
+from repro.ml.model_eval import removed_subgroup_accuracy
+
+
+def main() -> None:
+    dataset = load_compas()
+    print(dataset.describe())
+    print()
+
+    # --- 1. Coverage assessment (§V-B1) --------------------------------
+    result = find_mups(dataset, threshold=10, algorithm="deepdiver")
+    histogram = result.level_histogram()
+    print(
+        f"{len(result)} MUPs at τ=10 "
+        + ", ".join(f"{count} at level {level}" for level, count in histogram.items())
+    )
+    print(mup_report(dataset, result, limit=10))
+    widowed_hispanic = [p for p in result if str(p) == "XX23"]
+    if widowed_hispanic:
+        print(
+            "\nNote the MUP XX23: "
+            f"{widowed_hispanic[0].describe(dataset.schema)} — the paper's "
+            "headline example of a minority subgroup the data cannot support."
+        )
+    print()
+
+    # --- 2. Effect on a trained classifier (§V-B2, Figure 11) ----------
+    accuracy, f1 = cross_validate(dataset.rows, dataset.label("reoffended"))
+    print(f"cross-validated accuracy={accuracy:.2f}, f1={f1:.2f} — looks fine!")
+    rows = dataset.rows
+    hf_mask = (rows[:, 0] == 1) & (rows[:, 2] == 2)
+    print("\nHispanic women (HF) tell a different story:")
+    print("HF in training | HF accuracy | HF f1 | overall accuracy")
+    for row in subgroup_coverage_experiment(dataset, "reoffended", hf_mask):
+        print(
+            f"{row.subgroup_in_training:14d} | {row.subgroup_accuracy:11.2f} | "
+            f"{row.subgroup_f1:5.2f} | {row.overall_accuracy:.2f}"
+        )
+    fo_mask = (rows[:, 0] == 1) & (rows[:, 2] == 3)
+    mo_mask = (rows[:, 0] == 0) & (rows[:, 2] == 3)
+    print(
+        "\nExcluded-subgroup accuracy: "
+        f"female/other={removed_subgroup_accuracy(dataset, 'reoffended', fo_mask):.2f}, "
+        f"male/other={removed_subgroup_accuracy(dataset, 'reoffended', mo_mask):.2f} "
+        "(the paper: 0.39 vs 0.59 — men of other races resemble the "
+        "majority more than women do)"
+    )
+    print()
+
+    # --- 3. Coverage enhancement with a validation oracle (§V-B3) ------
+    oracle = ValidationOracle.from_named_rules(
+        dataset.schema,
+        [
+            {"marital_status": ["unknown"]},
+            {
+                "age": ["<20"],
+                "marital_status": [
+                    "married",
+                    "separated",
+                    "widowed",
+                    "significant-other",
+                    "divorced",
+                ],
+            },
+        ],
+    )
+    space = PatternSpace.for_dataset(dataset)
+    targets = uncovered_at_level(result.mups, space, 2)
+    plan = greedy_cover(targets, space, oracle)
+    print(plan.describe(dataset.schema))
+    if plan.unhittable:
+        print(
+            "\nThe unhittable targets all require semantically invalid "
+            "combinations; the domain expert marks those MUPs immaterial."
+        )
+
+
+if __name__ == "__main__":
+    main()

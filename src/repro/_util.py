@@ -1,0 +1,89 @@
+"""Small internal helpers shared across the package."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+def product_int(values: Iterable[int]) -> int:
+    """Integer product of an iterable (empty product is 1).
+
+    Used for value-combination counts, where ``math.prod`` would also work;
+    kept explicit so intent is clear at call sites.
+    """
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+class Stopwatch:
+    """Monotonic stopwatch used to report algorithm runtimes in results."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+
+@dataclass
+class SearchStats:
+    """Counters describing the work a traversal algorithm performed.
+
+    Attributes:
+        nodes_generated: candidate pattern nodes produced by the traversal.
+        coverage_evaluations: how many times the coverage oracle was consulted.
+        dominance_checks: how many MUP-dominance queries were issued.
+        pruned: nodes skipped thanks to monotonicity/dominance pruning.
+        seconds: wall-clock time of the run.
+    """
+
+    nodes_generated: int = 0
+    coverage_evaluations: int = 0
+    dominance_checks: int = 0
+    pruned: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes_generated": self.nodes_generated,
+            "coverage_evaluations": self.coverage_evaluations,
+            "dominance_checks": self.dominance_checks,
+            "pruned": self.pruned,
+            "seconds": self.seconds,
+        }
+
+
+def chunked(sequence: Sequence, size: int) -> Iterator[Sequence]:
+    """Yield consecutive slices of ``sequence`` of at most ``size`` items."""
+    check_positive("size", size)
+    for start in range(0, len(sequence), size):
+        yield sequence[start : start + size]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a list of rows as a plain-text aligned table.
+
+    Benchmarks use this to print the same rows/series the paper reports.
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)

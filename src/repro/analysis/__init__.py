@@ -1,0 +1,19 @@
+"""Analysis tooling: the nutritional-label coverage widget, human-readable
+reports, and threshold-selection helpers.
+"""
+
+from repro.analysis.diff import CoverageDiff, coverage_diff
+from repro.analysis.nutrition import CoverageLabel, coverage_label
+from repro.analysis.report import mup_report, enhancement_report
+from repro.analysis.thresholds import threshold_sweep, suggest_threshold
+
+__all__ = [
+    "CoverageDiff",
+    "coverage_diff",
+    "CoverageLabel",
+    "coverage_label",
+    "mup_report",
+    "enhancement_report",
+    "threshold_sweep",
+    "suggest_threshold",
+]

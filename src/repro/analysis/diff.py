@@ -1,0 +1,102 @@
+"""Before/after comparison of coverage assessments.
+
+After acquiring data, the owner re-runs MUP identification and wants to
+know what the acquisition bought: which uncovered regions were resolved,
+which persist, and which appear newly maximal (a previously dominated
+pattern becomes maximal once its more general ancestor is covered — that is
+progress, not regression, and the diff labels it accordingly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.mups.base import MupResult
+from repro.core.pattern import Pattern
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class CoverageDiff:
+    """Outcome of comparing two MUP identification runs.
+
+    Attributes:
+        resolved: MUPs of the *before* run that are covered now.
+        persisting: MUPs present in both runs.
+        refined: new MUPs dominated by a resolved *before* MUP — the region
+            shrank from a general gap to more specific ones.
+        regressed: new MUPs not explained by refinement (possible only if
+            data was also removed or the threshold changed).
+        before_level: maximum covered level before.
+        after_level: maximum covered level after.
+    """
+
+    resolved: Tuple[Pattern, ...]
+    persisting: Tuple[Pattern, ...]
+    refined: Tuple[Pattern, ...]
+    regressed: Tuple[Pattern, ...]
+    before_level: int
+    after_level: int
+
+    @property
+    def improved(self) -> bool:
+        """True when the maximum covered level went up."""
+        return self.after_level > self.before_level
+
+    def render(self, schema=None) -> str:
+        """Plain-text summary of the diff."""
+        def show(pattern: Pattern) -> str:
+            if schema is None:
+                return str(pattern)
+            return f"{pattern} ({pattern.describe(schema)})"
+
+        lines = [
+            f"max covered level: {self.before_level} -> {self.after_level}",
+            f"resolved {len(self.resolved)}, persisting {len(self.persisting)}, "
+            f"refined {len(self.refined)}, regressed {len(self.regressed)}",
+        ]
+        for title, patterns in [
+            ("resolved", self.resolved),
+            ("persisting", self.persisting),
+            ("refined", self.refined),
+            ("regressed", self.regressed),
+        ]:
+            for pattern in patterns[:10]:
+                lines.append(f"  {title}: {show(pattern)}")
+        return "\n".join(lines)
+
+
+def coverage_diff(before: MupResult, after: MupResult, d: int) -> CoverageDiff:
+    """Compare two MUP identification runs over the same schema.
+
+    Args:
+        before: the assessment before data acquisition.
+        after: the assessment afterwards (same threshold expected).
+        d: number of attributes (for max-covered-level of empty results).
+    """
+    if before.threshold != after.threshold:
+        raise ReproError(
+            f"runs used different thresholds ({before.threshold} vs "
+            f"{after.threshold}); the diff would be meaningless"
+        )
+    before_set = set(before.mups)
+    after_set = set(after.mups)
+    persisting = sorted(before_set & after_set)
+    resolved = sorted(before_set - after_set)
+    new = sorted(after_set - before_set)
+    refined: List[Pattern] = []
+    regressed: List[Pattern] = []
+    for pattern in new:
+        if any(old.dominates(pattern) for old in resolved):
+            refined.append(pattern)
+        else:
+            regressed.append(pattern)
+    return CoverageDiff(
+        resolved=tuple(resolved),
+        persisting=tuple(persisting),
+        refined=tuple(refined),
+        regressed=tuple(regressed),
+        before_level=before.max_covered_level(d),
+        after_level=after.max_covered_level(d),
+    )

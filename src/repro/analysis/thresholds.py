@@ -1,0 +1,82 @@
+"""Threshold (τ) selection helpers (§V-B2, and the paper's future work).
+
+The paper picks τ from statistical rules of thumb (20–50 samples per minor
+subgroup; the Figure 11 accuracy curve flattens around 40).  These helpers
+support that workflow: sweep τ and watch the MUP count, and locate the knee
+of a subgroup-accuracy curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.mups.base import find_mups
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ThresholdSweepRow:
+    """One τ setting of a sweep.
+
+    Attributes:
+        threshold: absolute τ.
+        mup_count: number of MUPs at that τ.
+        max_covered_level: Definition 6 at that τ.
+    """
+
+    threshold: int
+    mup_count: int
+    max_covered_level: int
+
+
+def threshold_sweep(
+    dataset: Dataset,
+    thresholds: Sequence[int],
+    algorithm: str = "deepdiver",
+) -> List[ThresholdSweepRow]:
+    """Run MUP identification across a list of thresholds."""
+    if not thresholds:
+        raise ReproError("need at least one threshold")
+    rows = []
+    for threshold in thresholds:
+        result = find_mups(dataset, threshold=threshold, algorithm=algorithm)
+        rows.append(
+            ThresholdSweepRow(
+                threshold=int(threshold),
+                mup_count=len(result),
+                max_covered_level=result.max_covered_level(dataset.d),
+            )
+        )
+    return rows
+
+
+def suggest_threshold(
+    counts: Sequence[int],
+    scores: Sequence[float],
+) -> int:
+    """Locate the knee of an accuracy-vs-samples curve.
+
+    Given per-setting subgroup sample counts and the model's subgroup scores
+    (Figure 11's x and y), return the count after which the marginal score
+    improvement drops below half of the largest step — the paper reads
+    "around 40" off this curve and notes it matches the statistics rule of
+    thumb of ~30.
+    """
+    if len(counts) != len(scores) or len(counts) < 3:
+        raise ReproError("need at least 3 aligned (count, score) points")
+    steps: List[Tuple[float, int]] = []
+    for i in range(1, len(counts)):
+        delta_x = counts[i] - counts[i - 1]
+        if delta_x <= 0:
+            raise ReproError("counts must be strictly increasing")
+        steps.append(((scores[i] - scores[i - 1]) / delta_x, counts[i]))
+    largest = max(slope for slope, _ in steps)
+    if largest <= 0:
+        # No improvement anywhere: the smallest count suffices.
+        return int(counts[1])
+    for slope, count in steps:
+        if slope < largest / 2:
+            return int(count)
+    return int(counts[-1])

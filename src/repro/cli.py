@@ -1,0 +1,189 @@
+"""Command-line interface: ``repro-coverage`` / ``python -m repro``.
+
+Subcommands:
+
+* ``identify`` — run MUP identification on a CSV file.
+* ``label`` — print the nutritional-label coverage widget for a CSV file.
+* ``enhance`` — plan an acquisition for a CSV file and a target level λ.
+* ``demo`` — run the COMPAS walk-through on the bundled simulator.
+
+CSV files are expected to contain integer-coded categorical columns; use
+``--attributes`` to select the attributes of interest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.nutrition import coverage_label
+from repro.analysis.report import enhancement_report, mup_report
+from repro.core.enhancement.greedy import greedy_cover
+from repro.core.enhancement.expansion import uncovered_at_level
+from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
+from repro.core.mups.base import ALGORITHMS, find_mups
+from repro.core.pattern_graph import PatternSpace
+from repro.data.compas import load_compas
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError, ValidationError
+
+
+def _load_csv(path: str, attributes: Optional[Sequence[str]]) -> Dataset:
+    """Read an integer-coded CSV with a header row into a Dataset."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [[int(cell) for cell in row] for row in reader if row]
+    dataset = Dataset.from_rows(rows, names=header)
+    if attributes:
+        dataset = dataset.project(list(attributes))
+    return dataset
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("csv", help="path to an integer-coded CSV file")
+    parser.add_argument(
+        "--attributes",
+        nargs="+",
+        help="attributes of interest (default: all columns)",
+    )
+    parser.add_argument(
+        "--threshold", type=int, required=True, help="coverage threshold τ"
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="deepdiver",
+        choices=sorted(ALGORITHMS),
+        help="MUP identification algorithm",
+    )
+    parser.add_argument(
+        "--max-level", type=int, default=None, help="level cap for the search"
+    )
+
+
+def _cmd_identify(args: argparse.Namespace) -> int:
+    dataset = _load_csv(args.csv, args.attributes)
+    result = find_mups(
+        dataset,
+        threshold=args.threshold,
+        algorithm=args.algorithm,
+        max_level=args.max_level,
+    )
+    print(mup_report(dataset, result, limit=args.limit))
+    return 0
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    dataset = _load_csv(args.csv, args.attributes)
+    label = coverage_label(
+        dataset,
+        threshold=args.threshold,
+        algorithm=args.algorithm,
+        max_level=args.max_level,
+    )
+    print(label.render())
+    return 0
+
+
+def _parse_rules(dataset: Dataset, texts: Sequence[str]) -> ValidationOracle:
+    """Parse ``--rule "attr=code,attr=code"`` forbidden conjunctions.
+
+    Each ``--rule`` names one semantically impossible combination of
+    attribute values (integer codes); any collection suggestion matching
+    every clause of a rule is ruled out.
+    """
+    rules = []
+    for text in texts:
+        clauses = []
+        for part in text.split(","):
+            if "=" not in part:
+                raise ValidationError(
+                    f"bad rule clause {part!r}; expected attribute=code"
+                )
+            name, _, value = part.partition("=")
+            attribute = dataset.schema.index_of(name.strip())
+            clauses.append((attribute, [int(value)]))
+        rules.append(ValidationRule(clauses))
+    return ValidationOracle(rules)
+
+
+def _cmd_enhance(args: argparse.Namespace) -> int:
+    dataset = _load_csv(args.csv, args.attributes)
+    result = find_mups(
+        dataset,
+        threshold=args.threshold,
+        algorithm=args.algorithm,
+        max_level=args.max_level,
+    )
+    space = PatternSpace.for_dataset(dataset)
+    targets = uncovered_at_level(result.mups, space, args.level)
+    validation = _parse_rules(dataset, args.rule or [])
+    plan = greedy_cover(targets, space, validation)
+    print(enhancement_report(dataset, plan))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    dataset = load_compas()
+    result = find_mups(dataset, threshold=args.threshold, algorithm="deepdiver")
+    print(dataset.describe())
+    print()
+    print(mup_report(dataset, result, limit=args.limit))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage",
+        description="Assess and remedy coverage for a dataset (ICDE 2019).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    identify = commands.add_parser("identify", help="find maximal uncovered patterns")
+    _add_common(identify)
+    identify.add_argument("--limit", type=int, default=50, help="rows to print")
+    identify.set_defaults(handler=_cmd_identify)
+
+    label = commands.add_parser("label", help="print the coverage nutritional label")
+    _add_common(label)
+    label.set_defaults(handler=_cmd_label)
+
+    enhance = commands.add_parser("enhance", help="plan additional data collection")
+    _add_common(enhance)
+    enhance.add_argument(
+        "--level", type=int, required=True, help="target maximum covered level λ"
+    )
+    enhance.add_argument(
+        "--rule",
+        action="append",
+        metavar="ATTR=CODE[,ATTR=CODE...]",
+        help="forbidden value conjunction (repeatable); suggestions matching "
+        "every clause are ruled out",
+    )
+    enhance.set_defaults(handler=_cmd_enhance)
+
+    demo = commands.add_parser("demo", help="COMPAS walk-through on bundled data")
+    demo.add_argument("--threshold", type=int, default=10)
+    demo.add_argument("--limit", type=int, default=20)
+    demo.set_defaults(handler=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError, ValueError) as error:
+        # ValidationError derives from ReproError; OSError/ValueError cover
+        # unreadable or malformed CSV input.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""MUP dominance index (Definition 9, Appendix B).
+
+DEEPDIVER issues two queries against the set of MUPs discovered so far:
+
+* does pattern ``P`` **dominate** some MUP (``P`` is a proper ancestor)?
+* is ``P`` **dominated by** some MUP (``P`` is a proper descendant)?
+
+Appendix B answers both with inverted indices: one bit vector per attribute
+value plus one per-attribute vector for MUPs carrying ``X`` there, combined
+with bitwise AND/OR and an early stop as soon as a surviving word is seen.
+Columns are MUPs, packed 64 per ``uint64`` word so a query over tens of
+thousands of MUPs costs a few hundred word operations.  Strictness
+(a pattern never dominates itself) is enforced by clearing the pattern's
+own column before testing for survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.pattern import Pattern, X
+from repro.exceptions import PatternError
+
+_INITIAL_WORDS = 8  # 512 MUP columns
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class MupDominanceIndex:
+    """Incremental dominance index over a growing set of MUPs."""
+
+    def __init__(self, cardinalities: Sequence[int]) -> None:
+        self._cardinalities = tuple(int(c) for c in cardinalities)
+        if not self._cardinalities:
+            raise PatternError("need at least one attribute")
+        self._size = 0
+        self._words = _INITIAL_WORDS
+        # _value_bits[i][v] — packed columns; bit m set iff MUP m has value
+        # v at attribute i.  Row index c_i holds the X vector.
+        self._value_bits: List[np.ndarray] = [
+            np.zeros((c + 1, self._words), dtype=np.uint64)
+            for c in self._cardinalities
+        ]
+        # All columns added so far (the query starting mask).
+        self._full = np.zeros(self._words, dtype=np.uint64)
+        # Preallocated scratch buffers so queries allocate nothing.
+        self._mask = np.zeros(self._words, dtype=np.uint64)
+        self._tmp = np.zeros(self._words, dtype=np.uint64)
+        self._mups: List[Pattern] = []
+        self._column_of: Dict[Pattern, int] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._mups)
+
+    def patterns(self) -> List[Pattern]:
+        """The MUPs added so far, in insertion order."""
+        return list(self._mups)
+
+    def _grow(self) -> None:
+        self._words *= 2
+        for i, bits in enumerate(self._value_bits):
+            grown = np.zeros((bits.shape[0], self._words), dtype=np.uint64)
+            grown[:, : bits.shape[1]] = bits
+            self._value_bits[i] = grown
+        full = np.zeros(self._words, dtype=np.uint64)
+        full[: len(self._full)] = self._full
+        self._full = full
+        self._mask = np.zeros(self._words, dtype=np.uint64)
+        self._tmp = np.zeros(self._words, dtype=np.uint64)
+
+    def add(self, mup: Pattern) -> None:
+        """Register a newly discovered MUP (idempotent for duplicates)."""
+        if len(mup) != len(self._cardinalities):
+            raise PatternError(
+                f"pattern of length {len(mup)} in a "
+                f"{len(self._cardinalities)}-attribute index"
+            )
+        if mup in self._column_of:
+            return
+        if self._size == self._words * 64:
+            self._grow()
+        column = self._size
+        word, bit = divmod(column, 64)
+        flag = np.uint64(1 << bit)
+        for i, value in enumerate(mup):
+            if value != X and not 0 <= value < self._cardinalities[i]:
+                raise PatternError(f"value {value} out of range for attribute {i}")
+            row = self._cardinalities[i] if value == X else value
+            self._value_bits[i][row, word] |= flag
+        self._full[word] |= flag
+        self._mups.append(mup)
+        self._column_of[mup] = column
+        self._size += 1
+
+    def extend(self, mups: Iterable[Pattern]) -> None:
+        for mup in mups:
+            self.add(mup)
+
+    # ------------------------------------------------------------------
+    # queries (Appendix B)
+    # ------------------------------------------------------------------
+    def _without_self(self, mask: np.ndarray, pattern: Pattern) -> np.ndarray:
+        """Clear the pattern's own column so dominance stays strict."""
+        column = self._column_of.get(pattern)
+        if column is not None:
+            word, bit = divmod(column, 64)
+            mask[word] &= np.uint64((~(1 << bit)) & 0xFFFFFFFFFFFFFFFF)
+        return mask
+
+    def dominates_any(self, pattern: Pattern) -> bool:
+        """True if ``pattern`` strictly dominates some stored MUP.
+
+        AND together the value vectors of the deterministic elements of
+        ``pattern``; a surviving column is a MUP agreeing with ``pattern``
+        everywhere ``pattern`` is deterministic, i.e. dominated by it.
+        """
+        if self._size == 0:
+            return False
+        mask = self._mask
+        np.copyto(mask, self._full)
+        self._without_self(mask, pattern)
+        for index in pattern.deterministic_indices():
+            np.bitwise_and(mask, self._value_bits[index][pattern[index]], out=mask)
+            if not mask.any():
+                return False
+        return bool(mask.any())
+
+    def dominated_by_any(self, pattern: Pattern) -> bool:
+        """True if some stored MUP strictly dominates ``pattern``.
+
+        For ``X`` elements of ``pattern`` the MUP must have ``X`` too; for
+        deterministic elements the MUP may carry the same value or ``X``
+        (bitwise OR of the two vectors, per Appendix B).
+        """
+        if self._size == 0:
+            return False
+        mask = self._mask
+        np.copyto(mask, self._full)
+        self._without_self(mask, pattern)
+        for index, value in enumerate(pattern):
+            x_row = self._value_bits[index][self._cardinalities[index]]
+            if value == X:
+                np.bitwise_and(mask, x_row, out=mask)
+            else:
+                np.bitwise_or(self._value_bits[index][value], x_row, out=self._tmp)
+                np.bitwise_and(mask, self._tmp, out=mask)
+            if not mask.any():
+                return False
+        return bool(mask.any())
+
+    def contains(self, pattern: Pattern) -> bool:
+        """Exact membership test."""
+        return pattern in self._column_of
+
+
+def dominated_by_any_scan(mups: Sequence[Pattern], pattern: Pattern) -> bool:
+    """Linear-scan reference for :meth:`MupDominanceIndex.dominated_by_any`.
+
+    Used in tests and as the ablation baseline for Appendix B.
+    """
+    return any(m.dominates(pattern) for m in mups)
+
+
+def dominates_any_scan(mups: Sequence[Pattern], pattern: Pattern) -> bool:
+    """Linear-scan reference for :meth:`MupDominanceIndex.dominates_any`."""
+    return any(pattern.dominates(m) for m in mups)

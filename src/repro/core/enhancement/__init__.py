@@ -1,0 +1,20 @@
+"""Coverage enhancement (Problem 2, §IV): determine the minimum additional
+tuples to collect so the maximum covered level reaches a target λ.
+"""
+
+from repro.core.enhancement.expansion import uncovered_at_level
+from repro.core.enhancement.greedy import EnhancementResult, greedy_cover, enhance_coverage
+from repro.core.enhancement.hitting_set import naive_greedy_cover
+from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
+from repro.core.enhancement.value_count import targets_by_value_count
+
+__all__ = [
+    "uncovered_at_level",
+    "EnhancementResult",
+    "greedy_cover",
+    "enhance_coverage",
+    "naive_greedy_cover",
+    "ValidationOracle",
+    "ValidationRule",
+    "targets_by_value_count",
+]

@@ -1,0 +1,55 @@
+"""Expansion of MUPs into the hitting-set targets ``M_λ`` (Appendix C).
+
+Covering only the MUPs does not guarantee a maximum covered level of λ:
+a MUP at level 2 can be "hit" by a single combination while most of its
+level-3 children stay empty.  Appendix C therefore expands every MUP of
+level ≤ λ into its descendants at *exactly* level λ; covering all of those
+covers every pattern at level ≤ λ as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternSpace
+from repro.exceptions import EnhancementError
+
+
+def uncovered_at_level(
+    mups: Iterable[Pattern],
+    space: PatternSpace,
+    level: int,
+    limit: Optional[int] = None,
+) -> List[Pattern]:
+    """The set of uncovered patterns at exactly ``level`` (the paper's M_λ).
+
+    Every uncovered pattern at ``level`` is a descendant of (or is) some MUP
+    with level ≤ ``level``, because all ancestors of a MUP are covered.
+    MUPs deeper than ``level`` are ignored: the patterns above them at
+    ``level`` are covered.
+
+    Args:
+        mups: the material MUPs of the dataset.
+        space: the pattern space (for cardinalities).
+        level: the target λ.
+        limit: safety cap on the number of generated targets.
+
+    Returns:
+        Sorted list of target patterns (deduplicated).
+    """
+    if not 0 <= level <= space.d:
+        raise EnhancementError(f"level {level} out of range [0, {space.d}]")
+    targets: Set[Pattern] = set()
+    for mup in mups:
+        space.validate(mup)
+        if mup.level > level:
+            continue
+        for descendant in space.descendants_at_level(mup, level):
+            targets.add(descendant)
+            if limit is not None and len(targets) > limit:
+                raise EnhancementError(
+                    f"more than {limit} targets at level {level}; "
+                    f"raise the limit or lower λ"
+                )
+    return sorted(targets)

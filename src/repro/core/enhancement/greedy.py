@@ -1,0 +1,253 @@
+"""Efficient greedy hitting-set for coverage enhancement (§IV-B, Algs. 4–5).
+
+The targets (uncovered patterns at level λ) form the sets of a hitting-set
+instance whose universe is the value combinations.  The classic greedy
+approximation repeatedly picks the combination hitting the most un-hit
+targets; doing that naively scans an exponential universe, so the paper
+builds, per attribute value, an inverted index over the targets (a target
+survives value ``v`` on attribute ``i`` iff its element there is ``v`` or
+``X``) and finds the best combination with a threshold-pruned DFS over the
+attribute-assignment tree (Algorithm 4), consulting the validation oracle
+before generating each child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import Stopwatch
+from repro.core.enhancement.expansion import uncovered_at_level
+from repro.core.enhancement.oracle import ValidationOracle
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset
+from repro.exceptions import EnhancementError
+
+
+@dataclass(frozen=True)
+class EnhancementResult:
+    """Output of a coverage-enhancement run (Problem 2).
+
+    Attributes:
+        combinations: the value combinations to collect, in pick order.
+        generalized: per pick, the most general pattern whose matching
+            combinations all hit the same targets (§IV-B implementation
+            note) — extra freedom for the data collector.
+        targets: how many target patterns had to be hit.
+        unhittable: targets no valid combination can hit (ruled out by the
+            validation oracle); they require human attention.
+        iterations: greedy picks performed.
+        nodes_visited: tree nodes expanded by Algorithm 4 across all picks.
+        seconds: wall-clock time.
+    """
+
+    combinations: Tuple[Tuple[int, ...], ...]
+    generalized: Tuple[Pattern, ...]
+    targets: int
+    unhittable: Tuple[Pattern, ...] = ()
+    iterations: int = 0
+    nodes_visited: int = 0
+    seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.combinations)
+
+    def rows(self) -> np.ndarray:
+        """The collected combinations as an ``(m, d)`` array for appending."""
+        if not self.combinations:
+            return np.zeros((0, 0), dtype=np.int32)
+        return np.asarray(self.combinations, dtype=np.int32)
+
+    def describe(self, schema) -> str:
+        """Human-readable acquisition plan."""
+        lines = [f"Collect {len(self.combinations)} value combination(s):"]
+        for combo, general in zip(self.combinations, self.generalized):
+            rendered = ", ".join(
+                f"{schema.names[i]}={schema.value_label(i, v)}"
+                for i, v in enumerate(combo)
+            )
+            lines.append(f"  - {rendered}")
+            if general.level < len(combo):
+                lines.append(f"    (any tuple matching {general.describe(schema)})")
+        if self.unhittable:
+            lines.append(
+                f"  ! {len(self.unhittable)} target(s) cannot be hit by any "
+                f"valid combination"
+            )
+        return "\n".join(lines)
+
+
+class _TargetIndex:
+    """Inverted indices from attribute values to target patterns (§IV-B)."""
+
+    def __init__(self, targets: Sequence[Pattern], space: PatternSpace) -> None:
+        self.targets = list(targets)
+        self.space = space
+        m = len(self.targets)
+        # vectors[i][v][j] == True iff target j can still be hit after
+        # fixing attribute i to value v (its element is v or X).
+        self.vectors: List[List[np.ndarray]] = []
+        for i, cardinality in enumerate(space.cardinalities):
+            per_value = []
+            elements = np.array([t[i] for t in self.targets], dtype=np.int64)
+            is_x = elements == X
+            for value in range(cardinality):
+                per_value.append(np.logical_or(is_x, elements == value))
+            self.vectors.append(per_value)
+        self.m = m
+
+    def hits_of(self, combination: Sequence[int]) -> np.ndarray:
+        """Boolean vector of targets hit by a full combination."""
+        mask = np.ones(self.m, dtype=bool)
+        for i, value in enumerate(combination):
+            np.logical_and(mask, self.vectors[i][value], out=mask)
+        return mask
+
+
+def _hit_count_search(
+    index: _TargetIndex,
+    filter_mask: np.ndarray,
+    validation: ValidationOracle,
+    counters: Dict[str, int],
+) -> Tuple[int, Optional[Tuple[int, ...]]]:
+    """Algorithm 4: best valid combination for the current filter.
+
+    Returns ``(hits, combination)``; ``combination`` is ``None`` when no
+    valid combination hits any remaining target.
+    """
+    space = index.space
+    d = space.d
+    best_count = 0
+    best_combo: Optional[Tuple[int, ...]] = None
+
+    def recurse(level: int, mask: np.ndarray, prefix: List[int]) -> None:
+        nonlocal best_count, best_combo
+        counters["nodes"] += 1
+        candidates = []
+        for value in range(space.cardinalities[level]):
+            prefix.append(value)
+            invalid = validation.invalidates_prefix(prefix)
+            prefix.pop()
+            if invalid:
+                continue
+            child_mask = np.logical_and(mask, index.vectors[level][value])
+            count = int(child_mask.sum())
+            candidates.append((count, value, child_mask))
+        if level == d - 1:
+            for count, value, _child in candidates:
+                if count > best_count:
+                    best_count = count
+                    best_combo = tuple(prefix + [value])
+            return
+        # Explore children best-first; prune once the upper bound (remaining
+        # potential hits) cannot beat the best known combination.
+        candidates.sort(key=lambda item: -item[0])
+        for count, value, child_mask in candidates:
+            if count <= best_count:
+                break
+            prefix.append(value)
+            recurse(level + 1, child_mask, prefix)
+            prefix.pop()
+
+    recurse(0, filter_mask, [])
+    return best_count, best_combo
+
+
+def greedy_cover(
+    targets: Sequence[Pattern],
+    space: PatternSpace,
+    validation: Optional[ValidationOracle] = None,
+) -> EnhancementResult:
+    """Algorithm 5: greedy hitting set over the given target patterns.
+
+    Args:
+        targets: uncovered patterns to hit (e.g. from
+            :func:`~repro.core.enhancement.expansion.uncovered_at_level`).
+        space: the pattern space.
+        validation: the human-configured validation oracle; defaults to
+            permissive.
+
+    Returns:
+        An :class:`EnhancementResult`; targets that no *valid* combination
+        can hit are reported in ``unhittable`` rather than looping forever.
+    """
+    validation = validation or ValidationOracle.permissive()
+    watch = Stopwatch()
+    for target in targets:
+        space.validate(target)
+    index = _TargetIndex(targets, space)
+    remaining = np.ones(index.m, dtype=bool)
+    combos: List[Tuple[int, ...]] = []
+    generalized: List[Pattern] = []
+    counters = {"nodes": 0}
+    iterations = 0
+
+    while remaining.any():
+        iterations += 1
+        best_count, best_combo = _hit_count_search(
+            index, remaining, validation, counters
+        )
+        if best_combo is None or best_count == 0:
+            break
+        hits = np.logical_and(index.hits_of(best_combo), remaining)
+        # Generalize (§IV-B implementation note): keep the combination's
+        # value only where some hit target pins it; if every hit target has
+        # X on an attribute, any value there hits the same set.
+        general_values = list(best_combo)
+        hit_targets = [index.targets[j] for j in np.nonzero(hits)[0]]
+        for attribute in range(space.d):
+            if all(t[attribute] == X for t in hit_targets):
+                general_values[attribute] = X
+        combos.append(best_combo)
+        generalized.append(Pattern(general_values))
+        np.logical_and(remaining, np.logical_not(hits), out=remaining)
+
+    unhittable = tuple(index.targets[j] for j in np.nonzero(remaining)[0])
+    return EnhancementResult(
+        combinations=tuple(combos),
+        generalized=tuple(generalized),
+        targets=index.m,
+        unhittable=unhittable,
+        iterations=iterations,
+        nodes_visited=counters["nodes"],
+        seconds=watch.elapsed(),
+    )
+
+
+def enhance_coverage(
+    dataset: Dataset,
+    mups: Sequence[Pattern],
+    level: int,
+    threshold: int,
+    validation: Optional[ValidationOracle] = None,
+    copies: Optional[int] = None,
+) -> Tuple[EnhancementResult, Dataset]:
+    """End-to-end Problem 2: plan the acquisition and apply it.
+
+    Args:
+        dataset: the dataset to enhance.
+        mups: its material MUPs.
+        level: the target maximum covered level λ.
+        threshold: the coverage threshold τ (each planned combination is
+            added ``copies`` times so hit targets actually reach τ).
+        validation: optional validation oracle.
+        copies: how many tuples to collect per planned combination; defaults
+            to ``threshold`` (enough to cover any previously empty target).
+
+    Returns:
+        ``(result, enhanced dataset)``.
+    """
+    space = PatternSpace.for_dataset(dataset)
+    targets = uncovered_at_level(mups, space, level)
+    result = greedy_cover(targets, space, validation)
+    copies = threshold if copies is None else copies
+    if copies < 1:
+        raise EnhancementError(f"copies must be >= 1, got {copies}")
+    new_rows: List[Tuple[int, ...]] = []
+    for combo in result.combinations:
+        new_rows.extend([combo] * copies)
+    enhanced = dataset.append_rows(new_rows)
+    return result, enhanced

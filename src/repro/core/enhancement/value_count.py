@@ -1,0 +1,67 @@
+"""Value-count variant of coverage enhancement (Definition 7, §II/§IV).
+
+Instead of a maximum covered level, the owner may require that every
+uncovered pattern whose *value count* (number of value combinations matching
+it) is at least ``v`` be covered.  The proposed solution is identical once
+the target set is enumerated, which is what this module does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.exceptions import EnhancementError
+
+
+def targets_by_value_count(
+    mups: Iterable[Pattern],
+    space: PatternSpace,
+    min_value_count: int,
+) -> List[Pattern]:
+    """Enumerate uncovered patterns with value count ≥ ``min_value_count``.
+
+    The uncovered patterns are exactly the patterns covered by some MUP
+    (including the MUPs themselves); specializing a pattern only shrinks its
+    value count, so the enumeration explores descendants of each MUP and
+    prunes as soon as the count drops below the bound.
+    """
+    if min_value_count < 1:
+        raise EnhancementError(
+            f"min_value_count must be >= 1, got {min_value_count}"
+        )
+    targets: Set[Pattern] = set()
+    for mup in mups:
+        space.validate(mup)
+        _collect(mup, space, min_value_count, targets, 0)
+    return sorted(targets)
+
+
+def _collect(
+    pattern: Pattern,
+    space: PatternSpace,
+    bound: int,
+    out: Set[Pattern],
+    min_index: int,
+) -> None:
+    """DFS over descendants while the value count stays ≥ bound.
+
+    Specializing only ``X`` positions ≥ ``min_index`` (in increasing order)
+    gives each descendant a unique path, so nothing is enumerated twice;
+    value counts shrink monotonically along any path, so the bound prune
+    never cuts a qualifying descendant.
+    """
+    if space.value_count(pattern) < bound:
+        return
+    already_known = pattern in out
+    out.add(pattern)
+    if already_known:
+        # All qualifying descendants were enumerated when this pattern was
+        # first reached (from this or another MUP).
+        return
+    for index in range(min_index, space.d):
+        if pattern[index] != X:
+            continue
+        for value in range(space.cardinalities[index]):
+            _collect(pattern.with_value(index, value), space, bound, out, index + 1)

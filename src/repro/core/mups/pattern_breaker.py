@@ -1,0 +1,106 @@
+"""PATTERN-BREAKER: the top-down BFS algorithm (§III-C, Algorithm 1).
+
+Starts at the all-``X`` root and moves level by level, breaking covered
+patterns into more specific candidates via Rule 1 (each node is generated
+exactly once — Theorem 3).  A candidate is pruned without evaluation when
+any of its parents was uncovered or itself pruned; an evaluated candidate
+with ``cov < τ`` is a MUP (all its parents are covered by construction).
+
+Coverage is evaluated incrementally: each frontier node carries its match
+mask over the unique value combinations, so a child's coverage costs one
+vectorized AND with the inverted index (Appendix A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._util import SearchStats, Stopwatch
+from repro.core.coverage import CoverageOracle
+from repro.core.mups.base import MupResult, register_algorithm
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset
+
+
+@register_algorithm("pattern_breaker")
+def pattern_breaker(
+    dataset: Dataset,
+    threshold: int,
+    max_level: Optional[int] = None,
+    oracle: Optional[CoverageOracle] = None,
+    use_masks: bool = True,
+) -> MupResult:
+    """Run PATTERN-BREAKER.
+
+    Args:
+        dataset: dataset to assess.
+        threshold: absolute coverage threshold ``τ``.
+        max_level: stop after this level; returns all MUPs with
+            ``ℓ(P) <= max_level``.
+        oracle: reuse a prebuilt coverage oracle.
+        use_masks: thread parent match-masks down the tree (Appendix A
+            optimization); disable only for the ablation benchmark.
+    """
+    space = PatternSpace.for_dataset(dataset)
+    oracle = oracle or CoverageOracle(dataset)
+    stats = SearchStats()
+    watch = Stopwatch()
+    depth = space.d if max_level is None else min(max_level, space.d)
+
+    root = space.root()
+    mups = []
+    # Frontier entries: pattern -> match mask (or None when masks are off).
+    frontier: Dict[Pattern, Optional[np.ndarray]] = {
+        root: oracle.full_mask() if use_masks else None
+    }
+    covered_prev: set = set()
+
+    for level in range(0, depth + 1):
+        if not frontier:
+            break
+        covered_here: set = set()
+        next_frontier: Dict[Pattern, Optional[np.ndarray]] = {}
+        for pattern, mask in frontier.items():
+            stats.nodes_generated += 1
+            if level > 0:
+                # Prune when any parent is missing from the covered frontier
+                # of the previous level (it was uncovered or pruned).
+                pruned = False
+                for parent in pattern.parents():
+                    if parent not in covered_prev:
+                        pruned = True
+                        break
+                if pruned:
+                    stats.pruned += 1
+                    continue
+            if use_masks:
+                count = oracle.coverage_of_mask(mask)
+            else:
+                count = oracle.coverage(pattern)
+            stats.coverage_evaluations += 1
+            if count < threshold:
+                # Every parent is covered (the prune above guarantees it),
+                # so an uncovered candidate here is maximal by definition.
+                mups.append(pattern)
+                continue
+            covered_here.add(pattern)
+            if level == depth:
+                continue
+            start = pattern.rightmost_deterministic() + 1
+            for index in range(start, space.d):
+                if pattern[index] != X:
+                    continue
+                for value in range(space.cardinalities[index]):
+                    child = pattern.with_value(index, value)
+                    child_mask = (
+                        oracle.restrict_mask(mask, index, value) if use_masks else None
+                    )
+                    next_frontier[child] = child_mask
+        covered_prev = covered_here
+        frontier = next_frontier
+
+    stats.seconds = watch.elapsed()
+    return MupResult(tuple(mups), threshold, stats, max_level)

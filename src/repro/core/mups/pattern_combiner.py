@@ -1,0 +1,106 @@
+"""PATTERN-COMBINER: the bottom-up algorithm (§III-D, Algorithm 2).
+
+One pass over the data yields exact counts for every level-``d`` value
+combination; the traversal then repeatedly *combines* uncovered nodes upward
+via Rule 2 (each parent generated exactly once — Theorem 4).  A parent's
+coverage is the sum over a disjoint child family obtained by specializing
+its right-most ``X``; any covered child in the family contributes ≥ τ, so
+the parent is covered and the branch is pruned.  MUPs at level ``ℓ`` are the
+uncovered nodes none of whose parents at ``ℓ - 1`` is uncovered.
+
+The initial level-``d`` sweep enumerates all ``Π c_i`` combinations, which
+is the intrinsic cost of the bottom-up strategy — exactly why Figure 13
+shows it losing on the high-cardinality BlueNile data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._util import SearchStats, Stopwatch
+from repro.core.coverage import CoverageOracle
+from repro.core.mups.base import MupResult, register_algorithm
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError
+
+#: Refuse combination spaces whose bottom level alone would not fit in RAM.
+_MAX_COMBINATIONS = 20_000_000
+
+
+@register_algorithm("pattern_combiner")
+def pattern_combiner(
+    dataset: Dataset,
+    threshold: int,
+    oracle: Optional[CoverageOracle] = None,
+) -> MupResult:
+    """Run PATTERN-COMBINER.
+
+    Args:
+        dataset: dataset to assess.
+        threshold: absolute coverage threshold ``τ``.
+        oracle: accepted for interface parity; the bottom-up algorithm only
+            needs the aggregated unique rows, not per-pattern queries.
+    """
+    space = PatternSpace.for_dataset(dataset)
+    if space.combination_count() > _MAX_COMBINATIONS:
+        raise ReproError(
+            f"bottom level has {space.combination_count()} combinations; "
+            f"use pattern_breaker or deepdiver for this schema"
+        )
+    stats = SearchStats()
+    watch = Stopwatch()
+
+    # Exact counts of the combinations present in the data (one data pass).
+    unique, counts = dataset.unique_rows()
+    present: Dict[Pattern, int] = {}
+    for row, count in zip(unique, counts):
+        present[Pattern(row)] = int(count)
+
+    # Level-d seed: every value combination below the threshold.
+    count_map: Dict[Pattern, int] = {}
+    for combo in space.all_combinations():
+        stats.nodes_generated += 1
+        pattern = Pattern(combo)
+        count = present.get(pattern, 0)
+        stats.coverage_evaluations += 1
+        if count < threshold:
+            count_map[pattern] = count
+
+    mups = []
+    if not count_map:
+        stats.seconds = watch.elapsed()
+        return MupResult((), threshold, stats)
+
+    for _level in range(space.d, -1, -1):
+        next_count: Dict[Pattern, int] = {}
+        for pattern in count_map:
+            # Rule 2: this node generates exactly the parents whose
+            # Rule-2 generator child it is, so no parent is built twice.
+            for parent in space.rule2_parents(pattern):
+                stats.nodes_generated += 1
+                pivot = parent.rightmost_nondeterministic()
+                total = 0
+                covered = False
+                for sibling in space.sibling_family(parent, pivot):
+                    child_count = count_map.get(sibling)
+                    if child_count is None:
+                        # Covered child => contributes >= τ => parent covered.
+                        covered = True
+                        break
+                    total += child_count
+                stats.coverage_evaluations += 1
+                if not covered and total < threshold:
+                    next_count[parent] = total
+                else:
+                    stats.pruned += 1
+        for pattern in count_map:
+            if all(parent not in next_count for parent in pattern.parents()):
+                mups.append(pattern)
+        if not next_count:
+            break
+        count_map = next_count
+
+    stats.seconds = watch.elapsed()
+    return MupResult(tuple(mups), threshold, stats)

@@ -1,0 +1,94 @@
+"""Bucketization of continuous / high-cardinality attributes (§II).
+
+The paper handles continuous attributes by "putting similar values into the
+same bucket".  These helpers turn a numeric column into integer bucket codes
+plus human-readable bucket labels, ready to slot into a :class:`Schema`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def bucketize_thresholds(
+    values: Sequence[float], thresholds: Sequence[float], labels: Sequence[str] = None
+) -> Tuple[np.ndarray, List[str]]:
+    """Bucketize using explicit ascending ``thresholds``.
+
+    A value lands in bucket ``k`` when ``thresholds[k-1] <= value <
+    thresholds[k]``; there are ``len(thresholds) + 1`` buckets.  This is how
+    the paper's COMPAS age attribute is encoded (under 20 / 20–39 / 40–59 /
+    over 60).
+
+    Returns:
+        ``(codes, bucket_labels)`` where codes are ints in
+        ``[0, len(thresholds)]``.
+    """
+    thresholds = list(thresholds)
+    if thresholds != sorted(thresholds):
+        raise DataError(f"thresholds must be ascending, got {thresholds}")
+    if not thresholds:
+        raise DataError("need at least one threshold")
+    array = np.asarray(values, dtype=float)
+    codes = np.searchsorted(thresholds, array, side="right").astype(np.int32)
+    if labels is None:
+        labels = []
+        labels.append(f"<{thresholds[0]:g}")
+        for low, high in zip(thresholds, thresholds[1:]):
+            labels.append(f"[{low:g},{high:g})")
+        labels.append(f">={thresholds[-1]:g}")
+    else:
+        labels = list(labels)
+        if len(labels) != len(thresholds) + 1:
+            raise DataError(
+                f"{len(thresholds) + 1} buckets but {len(labels)} labels"
+            )
+    return codes, list(labels)
+
+
+def bucketize_equal_width(
+    values: Sequence[float], buckets: int
+) -> Tuple[np.ndarray, List[str]]:
+    """Bucketize into ``buckets`` equal-width intervals over the data range."""
+    if buckets < 2:
+        raise DataError(f"need at least 2 buckets, got {buckets}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise DataError("cannot bucketize an empty column")
+    low, high = float(array.min()), float(array.max())
+    if low == high:
+        # Degenerate constant column: everything in bucket 0.
+        return np.zeros(len(array), dtype=np.int32), [f"[{low:g},{high:g}]"] + [
+            "(empty)"
+        ] * (buckets - 1)
+    edges = np.linspace(low, high, buckets + 1)
+    codes = np.clip(
+        np.searchsorted(edges, array, side="right") - 1, 0, buckets - 1
+    ).astype(np.int32)
+    labels = [f"[{edges[k]:g},{edges[k + 1]:g})" for k in range(buckets)]
+    return codes, labels
+
+
+def bucketize_quantiles(
+    values: Sequence[float], buckets: int
+) -> Tuple[np.ndarray, List[str]]:
+    """Bucketize into ``buckets`` (approximately) equal-population buckets."""
+    if buckets < 2:
+        raise DataError(f"need at least 2 buckets, got {buckets}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise DataError("cannot bucketize an empty column")
+    quantiles = np.quantile(array, np.linspace(0, 1, buckets + 1))
+    # Collapse duplicate edges (heavy ties) so codes stay dense.
+    edges = np.unique(quantiles)
+    if len(edges) < 2:
+        return np.zeros(len(array), dtype=np.int32), [f"[{edges[0]:g}]"]
+    codes = np.clip(
+        np.searchsorted(edges[1:-1], array, side="right"), 0, len(edges) - 2
+    ).astype(np.int32)
+    labels = [f"[{edges[k]:g},{edges[k + 1]:g})" for k in range(len(edges) - 1)]
+    return codes, labels

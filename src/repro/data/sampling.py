@@ -1,0 +1,80 @@
+"""Coverage-preserving subsampling.
+
+The paper (§VI) distinguishes coverage from classical sampling — but once
+coverage is understood, it *informs* sampling: when shrinking a dataset
+(for labeling budgets, sharing, or fast experimentation), a uniform sample
+can destroy coverage of small subgroups, while keeping up to ``τ`` copies
+of every distinct value combination preserves it exactly.
+
+Formally, for any pattern ``P`` with ``cov(P) ≥ τ`` in the original data,
+the quota-τ sample satisfies ``cov(P) ≥ τ`` as well: either some matching
+combination kept τ copies on its own, or every matching combination was
+kept in full.  Uncovered patterns can only lose coverage.  Hence the MUP
+set at threshold τ is *identical* before and after (a property test pins
+this down).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+def coverage_preserving_sample(
+    dataset: Dataset,
+    threshold: int,
+    max_size: Optional[int] = None,
+    seed: int = 0,
+) -> Dataset:
+    """Subsample keeping at most ``threshold`` copies per value combination.
+
+    Args:
+        dataset: the dataset to shrink.
+        threshold: the coverage threshold τ whose MUP set must be preserved.
+        max_size: optional hard budget; when the quota sample alone exceeds
+            it the function refuses (shrinking further would break the
+            guarantee) and reports the required size.
+        seed: RNG seed for choosing which duplicate rows to keep.
+
+    Returns:
+        A new :class:`Dataset` with the same schema (labels follow the
+        selected rows).
+    """
+    if threshold < 1:
+        raise DataError(f"threshold must be >= 1, got {threshold}")
+    if dataset.n == 0:
+        return dataset.take(np.arange(0))
+
+    rng = np.random.default_rng(seed)
+    # Group row indices by unique combination.
+    order = np.lexsort(dataset.rows.T[::-1])
+    sorted_rows = dataset.rows[order]
+    boundaries = np.nonzero(np.any(np.diff(sorted_rows, axis=0) != 0, axis=1))[0] + 1
+    groups = np.split(order, boundaries)
+
+    kept = []
+    for group in groups:
+        if len(group) <= threshold:
+            kept.extend(group.tolist())
+        else:
+            chosen = rng.choice(group, size=threshold, replace=False)
+            kept.extend(chosen.tolist())
+    if max_size is not None and len(kept) > max_size:
+        raise DataError(
+            f"preserving coverage at τ={threshold} needs {len(kept)} rows, "
+            f"over the budget of {max_size}; raise the budget or lower τ"
+        )
+    kept.sort()
+    return dataset.take(kept)
+
+
+def sample_size_required(dataset: Dataset, threshold: int) -> int:
+    """Rows the quota-τ sample would keep: ``Σ min(count_c, τ)``."""
+    if threshold < 1:
+        raise DataError(f"threshold must be >= 1, got {threshold}")
+    _unique, counts = dataset.unique_rows()
+    return int(np.minimum(counts, threshold).sum())

@@ -1,0 +1,143 @@
+"""Synthetic dataset constructions used by the paper's proofs and our tests.
+
+* :func:`diagonal_dataset` — the Theorem 1 construction whose MUP set is
+  exponential in ``n``.
+* :func:`vertex_cover_dataset` — the Theorem 2 reduction from vertex cover
+  to the coverage enhancement problem.
+* :func:`random_categorical_dataset` — seeded random data with controllable
+  skew, the workhorse of property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Schema
+from repro.exceptions import DataError
+
+
+def diagonal_dataset(n: int) -> Dataset:
+    """The Theorem 1 construction: ``n`` items over ``n`` binary attributes.
+
+    ``t_i[i] = 1`` and every other value is 0.  With threshold
+    ``τ = n/2 + 1`` the dataset has ``n + C(n, n/2) > 2^n`` MUPs, which is
+    the paper's proof that no polynomial algorithm can enumerate MUPs.
+    """
+    if n < 2:
+        raise DataError(f"diagonal dataset needs n >= 2, got {n}")
+    rows = np.eye(n, dtype=np.int32)
+    return Dataset(Schema.binary(n), rows)
+
+
+def diagonal_threshold(n: int) -> int:
+    """The threshold ``τ = n/2 + 1`` used in the Theorem 1 proof."""
+    return n // 2 + 1
+
+
+def vertex_cover_dataset(edges: Sequence[Tuple[int, int]], num_vertices: int) -> Dataset:
+    """The Theorem 2 reduction from vertex cover to coverage enhancement.
+
+    Builds a dataset with ``|V| + 3`` items over ``|E|`` binary attributes:
+    item ``t_i`` has 1 exactly on the attributes of edges incident to vertex
+    ``i``, and three all-zero items are appended.  With ``τ = 3`` and
+    ``λ = 1`` the MUPs are exactly the per-edge single-1 patterns, and an
+    optimal enhancement corresponds to a minimum vertex cover.
+
+    Args:
+        edges: edge list as ``(u, v)`` pairs of 0-based vertex ids.
+        num_vertices: ``|V|``.
+    """
+    if num_vertices < 1:
+        raise DataError("need at least one vertex")
+    if not edges:
+        raise DataError("need at least one edge")
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise DataError(f"edge ({u}, {v}) out of range for {num_vertices} vertices")
+        if u == v:
+            raise DataError(f"self-loop ({u}, {v}) not allowed")
+    num_edges = len(edges)
+    rows = np.zeros((num_vertices + 3, num_edges), dtype=np.int32)
+    for j, (u, v) in enumerate(edges):
+        rows[u, j] = 1
+        rows[v, j] = 1
+    schema = Schema.of([f"e{j + 1}" for j in range(num_edges)], [2] * num_edges)
+    return Dataset(schema, rows)
+
+
+VERTEX_COVER_THRESHOLD = 3
+VERTEX_COVER_LEVEL = 1
+
+
+def random_categorical_dataset(
+    n: int,
+    cardinalities: Sequence[int],
+    seed: int = 0,
+    skew: float = 0.0,
+    names: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Seeded random categorical data with optional per-attribute skew.
+
+    Args:
+        n: number of rows.
+        cardinalities: per-attribute cardinalities.
+        seed: RNG seed.
+        skew: 0 gives uniform values; larger values concentrate probability
+            on low codes via a geometric-like profile, which is what creates
+            uncovered regions in realistic data.
+        names: optional attribute names.
+    """
+    if n < 0:
+        raise DataError(f"n must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    columns = []
+    for cardinality in cardinalities:
+        if skew <= 0:
+            weights = np.ones(cardinality)
+        else:
+            weights = np.exp(-skew * np.arange(cardinality))
+        weights = weights / weights.sum()
+        columns.append(rng.choice(cardinality, size=n, p=weights))
+    rows = (
+        np.column_stack(columns).astype(np.int32)
+        if columns
+        else np.zeros((n, 0), dtype=np.int32)
+    )
+    schema = Schema.of(
+        names if names is not None else [f"A{i + 1}" for i in range(len(cardinalities))],
+        cardinalities,
+    )
+    return Dataset(schema, rows)
+
+
+def correlated_binary_dataset(
+    n: int,
+    d: int,
+    seed: int = 0,
+    base_rates: Optional[Iterable[float]] = None,
+    correlation: float = 0.5,
+) -> Dataset:
+    """Binary data correlated through a single latent factor.
+
+    Each row draws a latent ``z ~ U(0, 1)``; attribute ``i`` fires with
+    probability ``(1 - correlation) * p_i + correlation * z``.  Correlation
+    concentrates mass on "all amenities" / "no amenities" corners, which is
+    how real listing data (AirBnB) produces large uncovered regions.
+    """
+    if d < 1:
+        raise DataError(f"d must be >= 1, got {d}")
+    if not 0.0 <= correlation <= 1.0:
+        raise DataError(f"correlation must be in [0, 1], got {correlation}")
+    rng = np.random.default_rng(seed)
+    if base_rates is None:
+        rates = rng.uniform(0.05, 0.95, size=d)
+    else:
+        rates = np.asarray(list(base_rates), dtype=float)
+        if rates.shape[0] != d:
+            raise DataError(f"{rates.shape[0]} base rates for d={d}")
+    latent = rng.uniform(0.0, 1.0, size=(n, 1))
+    probabilities = (1.0 - correlation) * rates[None, :] + correlation * latent
+    rows = (rng.uniform(size=(n, d)) < probabilities).astype(np.int32)
+    return Dataset(Schema.binary(d), rows)

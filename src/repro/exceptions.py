@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent (bad cardinality, label count...)."""
+
+
+class DataError(ReproError):
+    """A dataset violates its schema (out-of-range value, shape mismatch...)."""
+
+
+class PatternError(ReproError):
+    """A pattern is malformed or incompatible with the schema it is used on."""
+
+
+class ValidationError(ReproError):
+    """A validation rule is malformed."""
+
+
+class EnhancementError(ReproError):
+    """Coverage enhancement was asked to do something impossible
+    (e.g. cover a target set that the validation oracle rules out entirely)."""

@@ -1,0 +1,112 @@
+"""Persistence for analysis artefacts.
+
+The paper's workflow is human-in-the-loop: MUPs are identified, a domain
+expert reviews them (marking immaterial ones), and the acquisition plan is
+handed to whoever collects data.  That hand-off needs files.  This module
+serializes :class:`~repro.core.mups.MupResult` and
+:class:`~repro.core.enhancement.EnhancementResult` to JSON and back, with
+patterns in the paper's compact string form where possible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro._util import SearchStats
+from repro.core.enhancement.greedy import EnhancementResult
+from repro.core.mups.base import MupResult
+from repro.core.pattern import Pattern
+from repro.exceptions import ReproError
+
+_FORMAT_VERSION = 1
+
+
+def _pattern_to_json(pattern: Pattern) -> List[int]:
+    return list(pattern.values)
+
+
+def _pattern_from_json(values: List[int]) -> Pattern:
+    return Pattern(values)
+
+
+def save_mup_result(result: MupResult, path: Union[str, Path]) -> None:
+    """Write a MUP identification result as JSON."""
+    payload = {
+        "format": "repro.mup_result",
+        "version": _FORMAT_VERSION,
+        "threshold": result.threshold,
+        "max_level": result.max_level,
+        "mups": [_pattern_to_json(p) for p in result.mups],
+        "stats": result.stats.as_dict(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_mup_result(path: Union[str, Path]) -> MupResult:
+    """Read a MUP identification result written by :func:`save_mup_result`."""
+    payload = _read(path, "repro.mup_result")
+    stats_dict = payload.get("stats", {})
+    stats = SearchStats(
+        nodes_generated=int(stats_dict.get("nodes_generated", 0)),
+        coverage_evaluations=int(stats_dict.get("coverage_evaluations", 0)),
+        dominance_checks=int(stats_dict.get("dominance_checks", 0)),
+        pruned=int(stats_dict.get("pruned", 0)),
+        seconds=float(stats_dict.get("seconds", 0.0)),
+    )
+    return MupResult(
+        mups=tuple(_pattern_from_json(v) for v in payload["mups"]),
+        threshold=int(payload["threshold"]),
+        stats=stats,
+        max_level=payload.get("max_level"),
+    )
+
+
+def save_enhancement_result(
+    result: EnhancementResult, path: Union[str, Path]
+) -> None:
+    """Write an acquisition plan as JSON."""
+    payload = {
+        "format": "repro.enhancement_result",
+        "version": _FORMAT_VERSION,
+        "combinations": [list(c) for c in result.combinations],
+        "generalized": [_pattern_to_json(p) for p in result.generalized],
+        "targets": result.targets,
+        "unhittable": [_pattern_to_json(p) for p in result.unhittable],
+        "iterations": result.iterations,
+        "nodes_visited": result.nodes_visited,
+        "seconds": result.seconds,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_enhancement_result(path: Union[str, Path]) -> EnhancementResult:
+    """Read an acquisition plan written by :func:`save_enhancement_result`."""
+    payload = _read(path, "repro.enhancement_result")
+    return EnhancementResult(
+        combinations=tuple(tuple(int(v) for v in c) for c in payload["combinations"]),
+        generalized=tuple(_pattern_from_json(v) for v in payload["generalized"]),
+        targets=int(payload["targets"]),
+        unhittable=tuple(_pattern_from_json(v) for v in payload["unhittable"]),
+        iterations=int(payload.get("iterations", 0)),
+        nodes_visited=int(payload.get("nodes_visited", 0)),
+        seconds=float(payload.get("seconds", 0.0)),
+    )
+
+
+def _read(path: Union[str, Path], expected_format: str) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path} is not valid JSON: {error}") from error
+    if payload.get("format") != expected_format:
+        raise ReproError(
+            f"{path} holds {payload.get('format')!r}, expected {expected_format!r}"
+        )
+    if payload.get("version", 0) > _FORMAT_VERSION:
+        raise ReproError(
+            f"{path} was written by a newer version of repro "
+            f"(format v{payload['version']})"
+        )
+    return payload

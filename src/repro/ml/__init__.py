@@ -1,0 +1,21 @@
+"""Machine-learning substrate for the paper's §V-B2 experiments.
+
+scikit-learn (the paper's tool) is unavailable offline, so this package
+implements a CART-style decision tree for categorical features, the
+accuracy / F1 metrics, cross-validation, and the subgroup evaluation
+harness behind Figure 11 — all from scratch.
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_score, train_test_split
+from repro.ml.model_eval import cross_validate, subgroup_coverage_experiment
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "train_test_split",
+    "cross_validate",
+    "subgroup_coverage_experiment",
+]

@@ -1,0 +1,210 @@
+"""A CART-style decision tree for categorical features (§V-B2 substrate).
+
+The paper trains scikit-learn 0.20's decision tree on the four COMPAS
+demographic attributes.  This implementation performs *multiway* splits on
+categorical attributes using Gini impurity, which matches the data model of
+the rest of the library (integer-coded categories) and reproduces the
+mechanism the experiment depends on: with no training examples from a
+subgroup, the tree's predictions for that subgroup fall back to the
+behaviour of the majority paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+@dataclass
+class _Node:
+    """One tree node; a leaf when ``attribute`` is None."""
+
+    prediction: int
+    probability: float
+    samples: int
+    attribute: Optional[int] = None
+    children: Dict[int, "_Node"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.attribute is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    """Gini impurity of a label vector."""
+    if len(labels) == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    proportions = counts / counts.sum()
+    return float(1.0 - np.square(proportions).sum())
+
+
+class DecisionTreeClassifier:
+    """Multiway categorical decision tree trained with Gini impurity.
+
+    Args:
+        max_depth: maximum number of split levels (None = unbounded, i.e.
+            at most one split per attribute since splits are multiway).
+        min_samples_split: do not split nodes smaller than this.
+        min_impurity_decrease: require at least this Gini reduction.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_impurity_decrease: float = 0.0,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise DataError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise DataError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_impurity_decrease = min_impurity_decrease
+        self._root: Optional[_Node] = None
+        self._d: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        """Train on integer-coded categorical features."""
+        features = np.asarray(features, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise DataError(f"features must be 2-D, got shape {features.shape}")
+        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+            raise DataError(
+                f"labels shape {labels.shape} incompatible with "
+                f"features shape {features.shape}"
+            )
+        if features.shape[0] == 0:
+            raise DataError("cannot train on an empty dataset")
+        self._d = features.shape[1]
+        usable = np.ones(self._d, dtype=bool)
+        self._root = self._build(features, labels, usable, depth=0)
+        return self
+
+    def _majority(self, labels: np.ndarray) -> tuple:
+        values, counts = np.unique(labels, return_counts=True)
+        best = int(np.argmax(counts))
+        return int(values[best]), float(counts[best] / counts.sum())
+
+    def _build(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        usable: np.ndarray,
+        depth: int,
+    ) -> _Node:
+        prediction, probability = self._majority(labels)
+        node = _Node(prediction, probability, len(labels))
+        if (
+            len(labels) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or _gini(labels) == 0.0
+            or not usable.any()
+        ):
+            return node
+
+        parent_impurity = _gini(labels)
+        best_attribute = None
+        best_gain = self.min_impurity_decrease
+        for attribute in np.nonzero(usable)[0]:
+            column = features[:, attribute]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            weighted = 0.0
+            for value in values:
+                subset = labels[column == value]
+                weighted += len(subset) / len(labels) * _gini(subset)
+            gain = parent_impurity - weighted
+            if gain > best_gain:
+                best_gain = gain
+                best_attribute = int(attribute)
+        if best_attribute is None:
+            return node
+
+        node.attribute = best_attribute
+        child_usable = usable.copy()
+        child_usable[best_attribute] = False
+        column = features[:, best_attribute]
+        for value in np.unique(column):
+            selector = column == value
+            node.children[int(value)] = self._build(
+                features[selector], labels[selector], child_usable, depth + 1
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> _Node:
+        if self._root is None:
+            raise DataError("classifier is not fitted; call fit() first")
+        return self._root
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict a label per row; unseen category values fall back to the
+        deepest matching node's majority (the generalization behaviour the
+        paper's experiment exposes)."""
+        root = self._check_fitted()
+        features = np.asarray(features, dtype=np.int64)
+        if features.ndim != 2 or features.shape[1] != self._d:
+            raise DataError(
+                f"features must be (n, {self._d}); got shape {features.shape}"
+            )
+        out = np.empty(features.shape[0], dtype=np.int64)
+        for i, row in enumerate(features):
+            node = root
+            while not node.is_leaf:
+                child = node.children.get(int(row[node.attribute]))
+                if child is None:
+                    break
+                node = child
+            out[i] = node.prediction
+        return out
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the predicted class per row (leaf purity)."""
+        root = self._check_fitted()
+        features = np.asarray(features, dtype=np.int64)
+        out = np.empty(features.shape[0], dtype=float)
+        for i, row in enumerate(features):
+            node = root
+            while not node.is_leaf:
+                child = node.children.get(int(row[node.attribute]))
+                if child is None:
+                    break
+                node = child
+            out[i] = node.probability
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Depth of the trained tree (0 for a single leaf)."""
+        root = self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(child) for child in node.children.values())
+
+        return walk(root)
+
+    def node_count(self) -> int:
+        """Total number of nodes in the trained tree."""
+        root = self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            return 1 + sum(walk(child) for child in node.children.values())
+
+        return walk(root)

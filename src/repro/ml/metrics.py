@@ -1,0 +1,73 @@
+"""Classification metrics and splits used by the §V-B2 experiments."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise DataError(
+            f"label vectors must be 1-D and equal length; got "
+            f"{y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise DataError("cannot score empty label vectors")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred, positive: int = 1) -> Tuple[int, int, int, int]:
+    """Binary confusion counts ``(tp, fp, fn, tn)`` for the positive class."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp = int(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = int(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = int(np.sum((y_true == positive) & (y_pred != positive)))
+    tn = int(np.sum((y_true != positive) & (y_pred != positive)))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true, y_pred, positive: int = 1) -> float:
+    """Precision for the positive class (0 when nothing predicted positive)."""
+    tp, fp, _fn, _tn = confusion_matrix(y_true, y_pred, positive)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def recall_score(y_true, y_pred, positive: int = 1) -> float:
+    """Recall for the positive class (0 when no positives exist)."""
+    tp, _fp, fn, _tn = confusion_matrix(y_true, y_pred, positive)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def f1_score(y_true, y_pred, positive: int = 1) -> float:
+    """F1 measure for the positive class."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def train_test_split(
+    n: int, test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shuffled index split; returns ``(train_indices, test_indices)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if n < 2:
+        raise DataError(f"need at least 2 rows to split, got {n}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    cut = max(1, int(round(n * test_fraction)))
+    return order[cut:], order[:cut]

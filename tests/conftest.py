@@ -1,0 +1,56 @@
+"""Shared fixtures: the paper's running examples and small random data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import Pattern, parse_patterns
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset, Schema
+from repro.data.synthetic import random_categorical_dataset
+
+
+@pytest.fixture
+def example1_dataset() -> Dataset:
+    """Example 1 (§III-A): three binary attributes, five tuples.
+
+    With τ = 1 the only MUP is ``1XX`` (plus eight dominated uncovered
+    patterns the naive algorithm must filter out).
+    """
+    return Dataset.from_strings(
+        ["010", "001", "000", "011", "001"],
+        schema=Schema.binary(3),
+    )
+
+
+@pytest.fixture
+def example2_space() -> PatternSpace:
+    """Example 2 (§IV): five attributes, A2 and A3 ternary, others binary."""
+    return PatternSpace([2, 3, 3, 2, 2])
+
+
+@pytest.fixture
+def example2_mups():
+    """The MUPs of Example 2 (Figure 8), P1..P7 in paper order."""
+    return parse_patterns(
+        ["XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX", "X020X"]
+    )
+
+
+@pytest.fixture
+def example2_level2_targets(example2_mups):
+    """The paper's M_λ for λ = 2: P1 to P6 (P7 has level 3)."""
+    return list(example2_mups[:6])
+
+
+def make_random_dataset(
+    seed: int, n: int = 40, cardinalities=(2, 3, 2), skew: float = 0.8
+) -> Dataset:
+    """Small seeded dataset for brute-force cross-checks."""
+    return random_categorical_dataset(n, cardinalities, seed=seed, skew=skew)
+
+
+@pytest.fixture
+def random_dataset_factory():
+    return make_random_dataset

@@ -1,0 +1,65 @@
+"""Property-based tests for the packed bit vector."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given
+
+from repro.data.bitset import BitVector
+
+
+@st.composite
+def bool_arrays(draw, max_len: int = 300):
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    bits = draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    return np.asarray(bits, dtype=bool)
+
+
+@st.composite
+def paired_bool_arrays(draw, max_len: int = 300):
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    a = draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    b = draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    return np.asarray(a, dtype=bool), np.asarray(b, dtype=bool)
+
+
+@given(bool_arrays())
+def test_roundtrip(flags):
+    assert np.array_equal(BitVector.from_bool_array(flags).to_bool_array(), flags)
+
+
+@given(bool_arrays())
+def test_count_matches_sum(flags):
+    assert BitVector.from_bool_array(flags).count() == int(flags.sum())
+
+
+@given(paired_bool_arrays())
+def test_and_matches_numpy(pair):
+    a, b = pair
+    result = BitVector.from_bool_array(a) & BitVector.from_bool_array(b)
+    assert np.array_equal(result.to_bool_array(), a & b)
+
+
+@given(paired_bool_arrays())
+def test_or_matches_numpy(pair):
+    a, b = pair
+    result = BitVector.from_bool_array(a) | BitVector.from_bool_array(b)
+    assert np.array_equal(result.to_bool_array(), a | b)
+
+
+@given(bool_arrays())
+def test_invert_matches_numpy(flags):
+    result = ~BitVector.from_bool_array(flags)
+    assert np.array_equal(result.to_bool_array(), ~flags)
+
+
+@given(paired_bool_arrays())
+def test_intersects_iff_common_bit(pair):
+    a, b = pair
+    va, vb = BitVector.from_bool_array(a), BitVector.from_bool_array(b)
+    assert va.intersects(vb) == bool((a & b).any())
+
+
+@given(bool_arrays())
+def test_indices_are_set_positions(flags):
+    vector = BitVector.from_bool_array(flags)
+    assert list(vector.indices()) == list(np.nonzero(flags)[0])

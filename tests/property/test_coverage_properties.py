@@ -1,0 +1,90 @@
+"""Property-based tests for coverage computation (hypothesis)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.coverage import CoverageOracle, coverage_scan
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset, Schema
+
+
+@st.composite
+def datasets(draw, max_d: int = 4, max_card: int = 4, max_n: int = 40):
+    d = draw(st.integers(min_value=1, max_value=max_d))
+    cardinalities = draw(
+        st.lists(st.integers(min_value=1, max_value=max_card), min_size=d, max_size=d)
+    )
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    rows = [
+        [draw(st.integers(min_value=0, max_value=c - 1)) for c in cardinalities]
+        for _ in range(n)
+    ]
+    schema = Schema.of([f"A{i + 1}" for i in range(d)], cardinalities)
+    array = np.asarray(rows, dtype=np.int32).reshape(n, d)
+    return Dataset(schema, array)
+
+
+@st.composite
+def dataset_and_pattern(draw):
+    dataset = draw(datasets())
+    values = []
+    for c in dataset.cardinalities:
+        values.append(draw(st.sampled_from([X] + list(range(c)))))
+    return dataset, Pattern(values)
+
+
+@given(dataset_and_pattern())
+def test_oracle_matches_literal_scan(case):
+    dataset, pattern = case
+    oracle = CoverageOracle(dataset)
+    assert oracle.coverage(pattern) == coverage_scan(dataset, pattern)
+
+
+@given(dataset_and_pattern())
+def test_coverage_monotone_under_specialization(case):
+    dataset, pattern = case
+    oracle = CoverageOracle(dataset)
+    space = PatternSpace.for_dataset(dataset)
+    coverage = oracle.coverage(pattern)
+    for child in space.children(pattern):
+        assert oracle.coverage(child) <= coverage
+
+
+@given(dataset_and_pattern())
+def test_sibling_family_partitions_coverage(case):
+    # PATTERN-COMBINER's identity: cov(P) = Σ cov over a disjoint family.
+    dataset, pattern = case
+    free = pattern.nondeterministic_indices()
+    if not free:
+        return
+    oracle = CoverageOracle(dataset)
+    space = PatternSpace.for_dataset(dataset)
+    pivot = free[0]
+    family = space.sibling_family(pattern, pivot)
+    assert oracle.coverage(pattern) == sum(oracle.coverage(s) for s in family)
+
+
+@given(datasets())
+def test_root_coverage_is_n(dataset):
+    oracle = CoverageOracle(dataset)
+    assert oracle.coverage(Pattern.root(dataset.d)) == dataset.n
+
+
+@given(dataset_and_pattern())
+@settings(max_examples=40)
+def test_mask_threading_equals_direct(case):
+    dataset, pattern = case
+    oracle = CoverageOracle(dataset)
+    mask = oracle.full_mask()
+    for index in pattern.deterministic_indices():
+        mask = oracle.restrict_mask(mask, index, pattern[index])
+    assert oracle.coverage_of_mask(mask) == oracle.coverage(pattern)
+
+
+@given(datasets())
+@settings(max_examples=40)
+def test_unique_rows_conserve_multiplicity(dataset):
+    _unique, counts = dataset.unique_rows()
+    assert counts.sum() == dataset.n

@@ -1,0 +1,80 @@
+"""Property-based cross-checks of the MUP identification algorithms."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.coverage import CoverageOracle
+from repro.core.mups import (
+    apriori_mups,
+    deepdiver,
+    naive_mups,
+    pattern_breaker,
+    pattern_combiner,
+)
+from repro.data.dataset import Dataset, Schema
+
+
+@st.composite
+def dataset_and_threshold(draw):
+    d = draw(st.integers(min_value=1, max_value=4))
+    cardinalities = draw(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=d, max_size=d)
+    )
+    n = draw(st.integers(min_value=0, max_value=30))
+    rows = [
+        [draw(st.integers(min_value=0, max_value=c - 1)) for c in cardinalities]
+        for _ in range(n)
+    ]
+    tau = draw(st.integers(min_value=1, max_value=6))
+    schema = Schema.of([f"A{i + 1}" for i in range(d)], cardinalities)
+    array = np.asarray(rows, dtype=np.int32).reshape(n, d)
+    return Dataset(schema, array), tau
+
+
+@given(dataset_and_threshold())
+@settings(max_examples=60, deadline=None)
+def test_all_algorithms_agree(case):
+    dataset, tau = case
+    reference = naive_mups(dataset, tau).as_set()
+    assert pattern_breaker(dataset, tau).as_set() == reference
+    assert pattern_combiner(dataset, tau).as_set() == reference
+    assert deepdiver(dataset, tau).as_set() == reference
+    assert apriori_mups(dataset, tau).as_set() == reference
+
+
+@given(dataset_and_threshold())
+@settings(max_examples=40, deadline=None)
+def test_mup_definition(case):
+    dataset, tau = case
+    oracle = CoverageOracle(dataset)
+    for mup in deepdiver(dataset, tau):
+        assert oracle.coverage(mup) < tau
+        for parent in mup.parents():
+            assert oracle.coverage(parent) >= tau
+
+
+@given(dataset_and_threshold())
+@settings(max_examples=40, deadline=None)
+def test_mups_are_an_antichain(case):
+    dataset, tau = case
+    mups = list(deepdiver(dataset, tau))
+    for i, a in enumerate(mups):
+        for b in mups[i + 1 :]:
+            assert not a.dominates(b) and not b.dominates(a)
+
+
+@given(dataset_and_threshold())
+@settings(max_examples=30, deadline=None)
+def test_every_uncovered_pattern_is_dominated_by_a_mup(case):
+    from repro.core.pattern_graph import PatternSpace
+
+    dataset, tau = case
+    oracle = CoverageOracle(dataset)
+    space = PatternSpace.for_dataset(dataset)
+    mups = set(deepdiver(dataset, tau))
+    for pattern in space.all_patterns():
+        if oracle.coverage(pattern) < tau:
+            assert any(m == pattern or m.dominates(pattern) for m in mups)
+        else:
+            assert not any(m == pattern or m.dominates(pattern) for m in mups)

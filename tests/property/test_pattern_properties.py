@@ -1,0 +1,152 @@
+"""Property-based tests for the pattern algebra (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+
+MAX_D = 5
+
+
+@st.composite
+def spaces(draw):
+    # Cardinality >= 2: with a single-valued attribute the syntactic covers
+    # relation is strictly finer than match-set inclusion (X and the lone
+    # value have identical matches); the library handles that consistently,
+    # but the semantic-equivalence properties below assume non-degenerate
+    # attributes, as the paper does.
+    d = draw(st.integers(min_value=1, max_value=MAX_D))
+    cardinalities = draw(
+        st.lists(st.integers(min_value=2, max_value=4), min_size=d, max_size=d)
+    )
+    return PatternSpace(cardinalities)
+
+
+@st.composite
+def space_and_pattern(draw):
+    space = draw(spaces())
+    values = []
+    for c in space.cardinalities:
+        values.append(draw(st.sampled_from([X] + list(range(c)))))
+    return space, Pattern(values)
+
+
+@st.composite
+def space_and_two_patterns(draw):
+    space = draw(spaces())
+
+    def one():
+        values = []
+        for c in space.cardinalities:
+            values.append(draw(st.sampled_from([X] + list(range(c)))))
+        return Pattern(values)
+
+    return space, one(), one()
+
+
+@st.composite
+def space_pattern_combo(draw):
+    space, pattern = draw(space_and_pattern())
+    combo = []
+    for i, c in enumerate(space.cardinalities):
+        if pattern[i] == X:
+            combo.append(draw(st.integers(min_value=0, max_value=c - 1)))
+        else:
+            combo.append(pattern[i])
+    return space, pattern, tuple(combo)
+
+
+@given(space_and_pattern())
+def test_level_plus_free_equals_d(case):
+    space, pattern = case
+    assert pattern.level + len(pattern.nondeterministic_indices()) == space.d
+
+
+@given(space_and_pattern())
+def test_parents_have_level_minus_one_and_cover(case):
+    _space, pattern = case
+    for parent in pattern.parents():
+        assert parent.level == pattern.level - 1
+        assert parent.dominates(pattern)
+        assert parent.is_parent_of(pattern)
+
+
+@given(space_and_pattern())
+def test_children_are_inverse_of_parents(case):
+    space, pattern = case
+    for child in space.children(pattern):
+        assert pattern in set(child.parents())
+
+
+@given(space_and_two_patterns())
+def test_dominance_antisymmetric(case):
+    _space, a, b = case
+    if a.dominates(b):
+        assert not b.dominates(a)
+        assert a.level < b.level
+
+
+@given(space_and_two_patterns())
+def test_covers_iff_all_matches_subset(case):
+    space, a, b = case
+    # Exact statement: a covers b  <=>  matches(b) ⊆ matches(a).
+    matches_b = set(space.combinations_matching(b))
+    matches_a = set(space.combinations_matching(a))
+    assert a.covers(b) == matches_b.issubset(matches_a)
+
+
+@given(space_pattern_combo())
+def test_matching_consistent_with_combinations(case):
+    space, pattern, combo = case
+    assert pattern.matches(combo)
+    assert combo in set(space.combinations_matching(pattern))
+
+
+@given(space_and_two_patterns())
+def test_merge_intersection_covers_both(case):
+    _space, a, b = case
+    merged = a.merge_intersection(b)
+    assert merged.covers(a)
+    assert merged.covers(b)
+
+
+@given(space_and_pattern())
+def test_value_count_equals_enumeration(case):
+    space, pattern = case
+    assert space.value_count(pattern) == sum(
+        1 for _ in space.combinations_matching(pattern)
+    )
+
+
+@given(space_and_pattern())
+def test_string_roundtrip(case):
+    _space, pattern = case
+    assert Pattern.from_string(str(pattern)) == pattern
+
+
+@given(spaces())
+@settings(max_examples=30)
+def test_rule1_tree_reaches_every_node_once(space):
+    generated = [space.root()]
+    frontier = [space.root()]
+    while frontier:
+        node = frontier.pop()
+        children = space.rule1_children(node)
+        generated.extend(children)
+        frontier.extend(children)
+    assert len(generated) == len(set(generated)) == space.node_count()
+
+
+@given(spaces())
+@settings(max_examples=30)
+def test_rule2_forest_reaches_every_non_leaf_once(space):
+    generated = []
+    frontier = [Pattern(c) for c in space.all_combinations()]
+    while frontier:
+        node = frontier.pop()
+        parents = space.rule2_parents(node)
+        generated.extend(parents)
+        frontier.extend(parents)
+    non_leaves = space.node_count() - space.combination_count()
+    assert len(generated) == len(set(generated)) == non_leaves

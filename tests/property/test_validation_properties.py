@@ -1,0 +1,91 @@
+"""Property-based tests for validation rules and oracle semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternSpace
+
+CARDINALITIES = (2, 3, 2, 3)
+SPACE = PatternSpace(CARDINALITIES)
+
+
+@st.composite
+def rules(draw):
+    clause_count = draw(st.integers(min_value=1, max_value=3))
+    attributes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(CARDINALITIES) - 1),
+            min_size=clause_count,
+            max_size=clause_count,
+            unique=True,
+        )
+    )
+    clauses = []
+    for attribute in attributes:
+        cardinality = CARDINALITIES[attribute]
+        values = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=cardinality - 1),
+                min_size=1,
+                max_size=cardinality,
+                unique=True,
+            )
+        )
+        clauses.append((attribute, values))
+    return ValidationRule(clauses)
+
+
+@st.composite
+def combos(draw):
+    return tuple(
+        draw(st.integers(min_value=0, max_value=c - 1)) for c in CARDINALITIES
+    )
+
+
+@given(rules(), combos())
+def test_oracle_is_negation_of_any_rule(rule, combo):
+    oracle = ValidationOracle([rule])
+    assert oracle.is_valid_values(combo) == (not rule.satisfied_by_values(combo))
+
+
+@given(rules(), combos())
+def test_full_prefix_invalidation_agrees_with_validity(rule, combo):
+    oracle = ValidationOracle([rule])
+    # With the whole combination assigned, prefix invalidation is exactly
+    # invalidity.
+    assert oracle.invalidates_prefix(list(combo)) == (
+        not oracle.is_valid_values(combo)
+    )
+
+
+@given(rules(), combos())
+def test_prefix_invalidation_is_monotone(rule, combo):
+    # Once a prefix is invalid, every longer prefix stays invalid.
+    oracle = ValidationOracle([rule])
+    invalid_seen = False
+    for end in range(1, len(combo) + 1):
+        now = oracle.invalidates_prefix(list(combo[:end]))
+        if invalid_seen:
+            assert now
+        invalid_seen = now
+
+
+@given(rules(), combos())
+def test_pattern_satisfaction_matches_value_satisfaction(rule, combo):
+    pattern = Pattern(combo)
+    assert rule.satisfied_by(pattern) == rule.satisfied_by_values(combo)
+
+
+@given(rules())
+@settings(max_examples=25)
+def test_rule_never_satisfied_by_more_general_pattern_unless_values_agree(rule):
+    # For any pattern satisfying the rule, replacing a clause attribute
+    # with X breaks satisfaction (X never satisfies a clause).
+    for combo in SPACE.all_combinations():
+        if rule.satisfied_by_values(combo):
+            pattern = Pattern(combo)
+            for attribute, _values in rule.clauses:
+                assert not rule.satisfied_by(pattern.with_value(attribute, -1))
+            break

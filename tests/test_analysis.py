@@ -1,0 +1,114 @@
+"""Unit tests for the analysis tooling (nutritional label, reports, τ)."""
+
+import pytest
+
+from repro.analysis.nutrition import coverage_label
+from repro.analysis.report import enhancement_report, mup_report
+from repro.analysis.thresholds import suggest_threshold, threshold_sweep
+from repro.core.enhancement.greedy import greedy_cover
+from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
+from repro.core.mups import find_mups
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternSpace
+from repro.data.compas import load_compas
+from repro.data.synthetic import random_categorical_dataset
+from repro.exceptions import ReproError
+
+
+class TestCoverageLabel:
+    def test_example1_label(self, example1_dataset):
+        label = coverage_label(example1_dataset, threshold=1)
+        assert label.n == 5
+        assert label.d == 3
+        assert label.mup_count == 1
+        assert label.level_histogram == {1: 1}
+        assert label.max_covered_level == 0
+
+    def test_render_contains_key_lines(self, example1_dataset):
+        text = coverage_label(example1_dataset, threshold=1).render()
+        assert "Coverage" in text
+        assert "threshold" in text
+        assert "A1=1" in text  # the headline gap rendered with names
+
+    def test_headline_limit(self):
+        dataset = random_categorical_dataset(40, (2, 2, 2), seed=1, skew=1.2)
+        label = coverage_label(dataset, threshold=6, headline_limit=2)
+        assert len(label.headline_gaps) <= 2
+
+    def test_reuses_existing_result(self, example1_dataset):
+        result = find_mups(example1_dataset, threshold=1)
+        label = coverage_label(example1_dataset, threshold=1, result=result)
+        assert label.mup_count == len(result)
+
+    def test_compas_label_mentions_minority_gap(self):
+        dataset = load_compas()
+        label = coverage_label(dataset, threshold=10)
+        assert label.mup_count > 0
+        rendered = label.render()
+        assert "uncovered regions" in rendered
+
+
+class TestReports:
+    def test_mup_report_contents(self, example1_dataset):
+        result = find_mups(example1_dataset, threshold=1)
+        text = mup_report(example1_dataset, result)
+        assert "1XX" in text
+        assert "A1=1" in text
+        assert "coverage" in text
+
+    def test_mup_report_limit(self):
+        dataset = random_categorical_dataset(40, (2, 2, 2), seed=2, skew=1.2)
+        result = find_mups(dataset, threshold=8)
+        limited = mup_report(dataset, result, limit=1)
+        assert limited.count("\n") < mup_report(dataset, result).count("\n") or len(result) <= 1
+
+    def test_enhancement_report(self, example2_space, example2_level2_targets):
+        plan = greedy_cover(example2_level2_targets, example2_space)
+        from repro.data.dataset import Dataset, Schema
+        import numpy as np
+
+        schema = Schema.of([f"A{i+1}" for i in range(5)], [2, 3, 3, 2, 2])
+        dataset = Dataset(schema, np.zeros((1, 5), dtype=np.int32))
+        text = enhancement_report(dataset, plan)
+        assert "Acquisition plan" in text
+        assert str(len(plan.combinations)) in text
+
+    def test_enhancement_report_warns_unhittable(self, example2_space):
+        oracle = ValidationOracle([ValidationRule({0: [1]})])
+        plan = greedy_cover([Pattern.from_string("1XXXX")], example2_space, oracle)
+        from repro.data.dataset import Dataset, Schema
+        import numpy as np
+
+        schema = Schema.of([f"A{i+1}" for i in range(5)], [2, 3, 3, 2, 2])
+        dataset = Dataset(schema, np.zeros((1, 5), dtype=np.int32))
+        assert "WARNING" in enhancement_report(dataset, plan)
+
+
+class TestThresholds:
+    def test_sweep_rows(self):
+        dataset = random_categorical_dataset(60, (2, 2, 2), seed=3, skew=1.0)
+        rows = threshold_sweep(dataset, [1, 3, 6])
+        assert [r.threshold for r in rows] == [1, 3, 6]
+        # Raising τ can only shrink (or keep) the covered prefix of levels.
+        levels = [r.max_covered_level for r in rows]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_sweep_requires_thresholds(self):
+        dataset = random_categorical_dataset(10, (2, 2), seed=0)
+        with pytest.raises(ReproError):
+            threshold_sweep(dataset, [])
+
+    def test_suggest_threshold_finds_knee(self):
+        # Figure 11-like curve: fast rise then flat after 40.
+        counts = [0, 20, 40, 60, 80]
+        scores = [0.45, 0.60, 0.75, 0.77, 0.78]
+        assert suggest_threshold(counts, scores) == 60
+
+    def test_suggest_threshold_flat_curve(self):
+        assert suggest_threshold([0, 10, 20], [0.5, 0.5, 0.5]) == 10
+
+    def test_suggest_threshold_validates(self):
+        with pytest.raises(ReproError):
+            suggest_threshold([0, 10], [0.5, 0.6])
+        with pytest.raises(ReproError):
+            suggest_threshold([0, 10, 5], [0.5, 0.6, 0.7])

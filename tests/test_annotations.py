@@ -1,0 +1,43 @@
+"""Guard: every public annotation in the package must resolve.
+
+``from __future__ import annotations`` defers evaluation, so a missing
+typing import only surfaces when somebody calls ``typing.get_type_hints``
+(dataclasses, IDEs, doc tooling).  This test calls it for every function
+and method in the package.
+"""
+
+import importlib
+import inspect
+import pkgutil
+import typing
+
+import repro
+
+
+def _walk():
+    yield repro
+    for mod_info in pkgutil.walk_packages(repro.__path__, "repro."):
+        if mod_info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(mod_info.name)
+
+
+def test_all_annotations_resolve():
+    failures = []
+    for module in _walk():
+        for name, obj in vars(module).items():
+            if inspect.isfunction(obj) and obj.__module__ == module.__name__:
+                try:
+                    typing.get_type_hints(obj)
+                except Exception as error:  # noqa: BLE001 - reporting all
+                    failures.append(f"{module.__name__}.{name}: {error}")
+            elif inspect.isclass(obj) and obj.__module__ == module.__name__:
+                for method_name, method in vars(obj).items():
+                    if inspect.isfunction(method):
+                        try:
+                            typing.get_type_hints(method)
+                        except Exception as error:  # noqa: BLE001
+                            failures.append(
+                                f"{module.__name__}.{name}.{method_name}: {error}"
+                            )
+    assert not failures, "\n".join(sorted(set(failures)))

@@ -1,0 +1,131 @@
+"""Unit tests for the packed bit vector (Appendices A–B substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.data.bitset import BitVector
+
+
+class TestConstruction:
+    def test_empty_vector(self):
+        vector = BitVector(0)
+        assert len(vector) == 0
+        assert vector.count() == 0
+        assert not vector.any()
+
+    def test_zero_fill(self):
+        vector = BitVector(70)
+        assert vector.count() == 0
+
+    def test_one_fill_masks_tail(self):
+        vector = BitVector(70, fill=True)
+        assert vector.count() == 70
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_from_indices(self):
+        vector = BitVector.from_indices(10, [0, 3, 9])
+        assert [i for i in vector.indices()] == [0, 3, 9]
+
+    def test_from_bool_array_roundtrip(self):
+        rng = np.random.default_rng(0)
+        flags = rng.uniform(size=130) < 0.3
+        vector = BitVector.from_bool_array(flags)
+        assert np.array_equal(vector.to_bool_array(), flags)
+        assert vector.count() == int(flags.sum())
+
+    def test_from_empty_bool_array(self):
+        vector = BitVector.from_bool_array(np.zeros(0, dtype=bool))
+        assert len(vector) == 0
+
+    def test_copy_is_independent(self):
+        vector = BitVector.from_indices(8, [1])
+        clone = vector.copy()
+        clone.set(2)
+        assert not vector.get(2)
+        assert clone.get(2)
+
+
+class TestElementAccess:
+    def test_set_and_get(self):
+        vector = BitVector(100)
+        vector.set(64)
+        vector.set(65)
+        vector.set(64, False)
+        assert not vector.get(64)
+        assert vector.get(65)
+
+    def test_out_of_range_get(self):
+        with pytest.raises(IndexError):
+            BitVector(4).get(4)
+
+    def test_out_of_range_set(self):
+        with pytest.raises(IndexError):
+            BitVector(4).set(-1)
+
+
+class TestBitwiseOps:
+    def test_and(self):
+        a = BitVector.from_indices(80, [0, 10, 70])
+        b = BitVector.from_indices(80, [10, 70, 79])
+        assert list((a & b).indices()) == [10, 70]
+
+    def test_or(self):
+        a = BitVector.from_indices(10, [1])
+        b = BitVector.from_indices(10, [2])
+        assert list((a | b).indices()) == [1, 2]
+
+    def test_invert_masks_tail(self):
+        vector = BitVector.from_indices(70, [0])
+        inverted = ~vector
+        assert inverted.count() == 69
+        assert not inverted.get(0)
+
+    def test_inplace_and(self):
+        a = BitVector.from_indices(10, [1, 2])
+        b = BitVector.from_indices(10, [2, 3])
+        assert a.iand(b) is a
+        assert list(a.indices()) == [2]
+
+    def test_inplace_or(self):
+        a = BitVector.from_indices(10, [1])
+        a.ior(BitVector.from_indices(10, [5]))
+        assert list(a.indices()) == [1, 5]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(4) & BitVector(5)
+
+
+class TestQueries:
+    def test_intersects_early_stop(self):
+        a = BitVector.from_indices(200_000, [5])
+        b = BitVector.from_indices(200_000, [5, 150_000])
+        assert a.intersects(b)
+        assert not a.intersects(BitVector(200_000))
+
+    def test_any(self):
+        assert BitVector.from_indices(5, [4]).any()
+        assert not BitVector(5).any()
+
+    def test_count_across_words(self):
+        vector = BitVector.from_indices(129, [0, 63, 64, 128])
+        assert vector.count() == 4
+
+    def test_equality(self):
+        a = BitVector.from_indices(10, [3])
+        b = BitVector.from_indices(10, [3])
+        assert a == b
+        b.set(4)
+        assert a != b
+        assert a != "not a vector"
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitVector(4))
+
+    def test_repr_truncates(self):
+        text = repr(BitVector(64))
+        assert "BitVector(64" in text and "..." in text

@@ -1,0 +1,88 @@
+"""Unit tests for continuous-attribute bucketization (§II)."""
+
+import numpy as np
+import pytest
+
+from repro.data.bucketize import (
+    bucketize_equal_width,
+    bucketize_quantiles,
+    bucketize_thresholds,
+)
+from repro.exceptions import DataError
+
+
+class TestThresholds:
+    def test_compas_age_buckets(self):
+        # The paper's COMPAS encoding: <20, 20-39, 40-59, >=60.
+        ages = [15, 20, 39, 40, 59, 60, 85]
+        codes, labels = bucketize_thresholds(ages, [20, 40, 60])
+        assert codes.tolist() == [0, 1, 1, 2, 2, 3, 3]
+        assert len(labels) == 4
+
+    def test_custom_labels(self):
+        codes, labels = bucketize_thresholds([1, 5], [3], labels=["low", "high"])
+        assert labels == ["low", "high"]
+        assert codes.tolist() == [0, 1]
+
+    def test_label_count_checked(self):
+        with pytest.raises(DataError):
+            bucketize_thresholds([1], [3], labels=["only-one"])
+
+    def test_unsorted_thresholds_rejected(self):
+        with pytest.raises(DataError):
+            bucketize_thresholds([1], [5, 3])
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(DataError):
+            bucketize_thresholds([1], [])
+
+    def test_default_labels_readable(self):
+        _codes, labels = bucketize_thresholds([1, 25, 45], [20, 40])
+        assert labels[0].startswith("<")
+        assert labels[-1].startswith(">=")
+
+
+class TestEqualWidth:
+    def test_even_split(self):
+        codes, labels = bucketize_equal_width([0.0, 2.5, 5.0, 7.5, 10.0], 4)
+        assert codes.tolist() == [0, 1, 2, 3, 3]
+        assert len(labels) == 4
+
+    def test_constant_column(self):
+        codes, labels = bucketize_equal_width([3.0, 3.0], 3)
+        assert codes.tolist() == [0, 0]
+        assert len(labels) == 3
+
+    def test_requires_two_buckets(self):
+        with pytest.raises(DataError):
+            bucketize_equal_width([1.0], 1)
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(DataError):
+            bucketize_equal_width([], 2)
+
+
+class TestQuantiles:
+    def test_equal_population(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        codes, labels = bucketize_quantiles(values, 4)
+        counts = np.bincount(codes)
+        assert len(counts) == 4
+        assert counts.min() > 180  # roughly balanced
+
+    def test_heavy_ties_collapse(self):
+        codes, labels = bucketize_quantiles([1.0] * 10 + [2.0], 4)
+        assert len(set(codes.tolist())) <= len(labels)
+
+    def test_all_identical(self):
+        codes, labels = bucketize_quantiles([5.0] * 4, 3)
+        assert codes.tolist() == [0, 0, 0, 0]
+
+    def test_requires_two_buckets(self):
+        with pytest.raises(DataError):
+            bucketize_quantiles([1.0, 2.0], 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            bucketize_quantiles([], 2)

@@ -1,0 +1,114 @@
+"""End-to-end tests for the command-line interface."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.synthetic import random_categorical_dataset
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    """A small integer-coded CSV with a header row."""
+    dataset = random_categorical_dataset(60, (2, 3, 2), seed=4, skew=1.0)
+    path = tmp_path / "data.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["color", "size", "shape"])
+        writer.writerows(dataset.rows.tolist())
+    return str(path)
+
+
+class TestIdentify:
+    def test_identify_prints_mups(self, csv_file, capsys):
+        code = main(["identify", csv_file, "--threshold", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "maximal uncovered pattern" in output
+
+    def test_identify_with_projection(self, csv_file, capsys):
+        code = main(
+            ["identify", csv_file, "--threshold", "5", "--attributes", "color", "size"]
+        )
+        assert code == 0
+
+    def test_identify_with_algorithm_choice(self, csv_file, capsys):
+        code = main(
+            ["identify", csv_file, "--threshold", "5", "--algorithm", "pattern_breaker"]
+        )
+        assert code == 0
+
+    def test_identify_with_level_cap(self, csv_file, capsys):
+        code = main(["identify", csv_file, "--threshold", "5", "--max-level", "1"])
+        assert code == 0
+
+
+class TestLabel:
+    def test_label_renders_widget(self, csv_file, capsys):
+        code = main(["label", csv_file, "--threshold", "5"])
+        assert code == 0
+        assert "Coverage" in capsys.readouterr().out
+
+
+class TestEnhance:
+    def test_enhance_prints_plan(self, csv_file, capsys):
+        code = main(["enhance", csv_file, "--threshold", "5", "--level", "1"])
+        assert code == 0
+        assert "Acquisition plan" in capsys.readouterr().out
+
+    def test_enhance_with_rule(self, csv_file, capsys):
+        code = main(
+            [
+                "enhance",
+                csv_file,
+                "--threshold",
+                "5",
+                "--level",
+                "1",
+                "--rule",
+                "color=1,size=2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Acquisition plan" in output
+
+    def test_enhance_with_bad_rule_returns_2(self, csv_file, capsys):
+        code = main(
+            ["enhance", csv_file, "--threshold", "5", "--level", "1", "--rule", "junk"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_enhance_rule_unknown_attribute_returns_2(self, csv_file, capsys):
+        code = main(
+            ["enhance", csv_file, "--threshold", "5", "--level", "1", "--rule", "zz=1"]
+        )
+        assert code == 2
+
+
+class TestDemo:
+    def test_demo_runs_on_bundled_compas(self, capsys):
+        code = main(["demo", "--threshold", "10", "--limit", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "marital_status" in output
+
+
+class TestErrors:
+    def test_missing_file_returns_2(self, capsys):
+        code = main(["identify", "/does/not/exist.csv", "--threshold", "5"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_attribute_returns_2(self, csv_file, capsys):
+        code = main(
+            ["identify", csv_file, "--threshold", "5", "--attributes", "nope"]
+        )
+        assert code == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,60 @@
+"""Tests for the cost-aware greedy variant (acquisition costs, §IV)."""
+
+import pytest
+
+from repro.core.enhancement.hitting_set import naive_greedy_cover
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternSpace
+from repro.exceptions import EnhancementError
+
+
+class TestCostAwareGreedy:
+    SPACE = PatternSpace([2, 2, 2])
+
+    def test_cost_steers_choice(self):
+        # Two targets, both hittable by a single combination through A1=1,
+        # but combinations with A3=1 are expensive: greedy must pick the
+        # cheap equivalent.
+        targets = [Pattern.from_string("1XX")]
+
+        def cost(combo):
+            return 100.0 if combo[2] == 1 else 1.0
+
+        plan = naive_greedy_cover(targets, self.SPACE, cost_fn=cost)
+        assert len(plan.combinations) == 1
+        assert plan.combinations[0][2] == 0
+
+    def test_cost_vs_count_tradeoff(self):
+        # One combination hits both targets but costs 10; two separate
+        # combinations cost 1 each.  Cost-effectiveness (2/10 vs 1/1) should
+        # prefer the two cheap picks.
+        targets = [Pattern.from_string("10X"), Pattern.from_string("11X")]
+
+        def cost(combo):
+            return 1.0  # flat: behaves like plain greedy
+
+        flat = naive_greedy_cover(targets, self.SPACE, cost_fn=cost)
+        assert len(flat.combinations) == 2  # the targets conflict on A2
+
+    def test_all_targets_still_hit(self):
+        targets = [
+            Pattern.from_string("1XX"),
+            Pattern.from_string("X1X"),
+            Pattern.from_string("XX1"),
+        ]
+        plan = naive_greedy_cover(targets, self.SPACE, cost_fn=lambda c: 1 + sum(c))
+        remaining = set(targets)
+        for combo in plan.combinations:
+            remaining -= {t for t in remaining if t.matches(combo)}
+        assert not remaining
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(EnhancementError):
+            naive_greedy_cover(
+                [Pattern.from_string("1XX")], self.SPACE, cost_fn=lambda c: 0.0
+            )
+
+    def test_without_cost_fn_unchanged(self):
+        targets = [Pattern.from_string("1XX")]
+        plain = naive_greedy_cover(targets, self.SPACE)
+        assert len(plain.combinations) == 1

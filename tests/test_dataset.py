@@ -1,0 +1,192 @@
+"""Unit tests for the Schema / Dataset substrate (§II)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, Schema
+from repro.exceptions import DataError, SchemaError
+
+
+class TestSchema:
+    def test_basic_construction(self):
+        schema = Schema.of(["a", "b"], [2, 3])
+        assert schema.d == 2
+        assert schema.cardinalities == (2, 3)
+
+    def test_binary_helper(self):
+        schema = Schema.binary(4)
+        assert schema.names == ("A1", "A2", "A3", "A4")
+        assert schema.cardinalities == (2, 2, 2, 2)
+
+    def test_name_cardinality_mismatch(self):
+        with pytest.raises(SchemaError):
+            Schema.of(["a"], [2, 2])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(["a", "a"], [2, 2])
+
+    def test_zero_cardinality_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(["a"], [0])
+
+    def test_value_labels_validated(self):
+        with pytest.raises(SchemaError):
+            Schema.of(["a"], [2], [["only-one"]])
+        with pytest.raises(SchemaError):
+            Schema.of(["a"], [2], [["x", "y"], ["z", "w"]])
+
+    def test_value_label_lookup(self):
+        schema = Schema.of(["a"], [2], [["no", "yes"]])
+        assert schema.value_label(0, 1) == "yes"
+
+    def test_value_label_defaults_to_code(self):
+        schema = Schema.binary(1)
+        assert schema.value_label(0, 1) == "1"
+
+    def test_index_of(self):
+        schema = Schema.of(["a", "b"], [2, 2])
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("zzz")
+
+    def test_combination_and_pattern_counts(self):
+        schema = Schema.of(["a", "b"], [2, 3])
+        assert schema.combination_count() == 6
+        assert schema.combination_count([1]) == 3
+        assert schema.pattern_count() == 12
+
+    def test_project(self):
+        schema = Schema.of(["a", "b", "c"], [2, 3, 4], [["n", "y"], list("pqr"), list("wxyz")])
+        projected = schema.project([2, 0])
+        assert projected.names == ("c", "a")
+        assert projected.cardinalities == (4, 2)
+        assert projected.value_labels == (("w", "x", "y", "z"), ("n", "y"))
+
+
+class TestDatasetConstruction:
+    def test_from_rows_infers_cardinalities(self):
+        dataset = Dataset.from_rows([[0, 2], [1, 0]])
+        assert dataset.cardinalities == (2, 3)
+        assert dataset.n == 2
+
+    def test_from_rows_constant_column_stays_binary(self):
+        dataset = Dataset.from_rows([[0, 0], [0, 0]])
+        assert dataset.cardinalities == (2, 2)
+
+    def test_from_strings(self):
+        dataset = Dataset.from_strings(["010", "001"])
+        assert dataset.n == 2
+        assert dataset.d == 3
+
+    def test_out_of_range_value_rejected(self):
+        schema = Schema.binary(2)
+        with pytest.raises(DataError):
+            Dataset(schema, np.array([[0, 2]]))
+
+    def test_negative_value_rejected(self):
+        schema = Schema.binary(2)
+        with pytest.raises(DataError):
+            Dataset(schema, np.array([[-1, 0]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Dataset(Schema.binary(3), np.zeros((2, 2), dtype=np.int32))
+
+    def test_empty_inference_rejected(self):
+        with pytest.raises(DataError):
+            Dataset.from_rows([])
+
+    def test_labels_length_checked(self):
+        schema = Schema.binary(2)
+        with pytest.raises(DataError):
+            Dataset(schema, np.zeros((2, 2), dtype=np.int32), labels={"y": np.zeros(3)})
+
+    def test_repr(self, example1_dataset):
+        assert "n=5" in repr(example1_dataset)
+
+
+class TestDatasetOperations:
+    def test_unique_rows_counts(self, example1_dataset):
+        unique, counts = example1_dataset.unique_rows()
+        as_map = {tuple(r): c for r, c in zip(unique, counts)}
+        assert as_map == {(0, 1, 0): 1, (0, 0, 1): 2, (0, 0, 0): 1, (0, 1, 1): 1}
+
+    def test_unique_rows_cached(self, example1_dataset):
+        first = example1_dataset.unique_rows()
+        second = example1_dataset.unique_rows()
+        assert first[0] is second[0]
+
+    def test_project_by_name_and_index(self):
+        dataset = Dataset.from_rows([[0, 1, 2]], names=["a", "b", "c"], cardinalities=[2, 2, 3])
+        projected = dataset.project(["c", 0])
+        assert projected.schema.names == ("c", "a")
+        assert projected.rows.tolist() == [[2, 0]]
+
+    def test_project_bad_index(self, example1_dataset):
+        with pytest.raises(DataError):
+            example1_dataset.project([7])
+
+    def test_sample_without_replacement(self, example1_dataset):
+        sample = example1_dataset.sample(3, seed=1)
+        assert sample.n == 3
+        with pytest.raises(DataError):
+            example1_dataset.sample(10)
+
+    def test_take_carries_labels(self):
+        dataset = Dataset.from_rows(
+            [[0], [1], [0]], cardinalities=[2]
+        )
+        dataset = Dataset(
+            dataset.schema, dataset.rows, labels={"y": np.array([5, 6, 7])}
+        )
+        taken = dataset.take([2, 0])
+        assert taken.label("y").tolist() == [7, 5]
+
+    def test_head(self, example1_dataset):
+        assert example1_dataset.head(2).n == 2
+        assert example1_dataset.head(100).n == 5
+
+    def test_append_rows(self, example1_dataset):
+        grown = example1_dataset.append_rows([(1, 1, 1), (1, 0, 0)])
+        assert grown.n == 7
+        assert example1_dataset.n == 5  # original untouched
+
+    def test_append_empty(self, example1_dataset):
+        assert example1_dataset.append_rows([]).n == 5
+
+    def test_append_shape_checked(self, example1_dataset):
+        with pytest.raises(DataError):
+            example1_dataset.append_rows([(1, 1)])
+
+    def test_append_out_of_range_checked(self, example1_dataset):
+        with pytest.raises(DataError):
+            example1_dataset.append_rows([(2, 0, 0)])
+
+    def test_mask(self, example1_dataset):
+        masked = example1_dataset.mask(example1_dataset.rows[:, 2] == 1)
+        assert masked.n == 3
+        with pytest.raises(DataError):
+            example1_dataset.mask(np.ones(3, dtype=bool))
+
+    def test_value_counts(self, example1_dataset):
+        assert example1_dataset.value_counts("A3") == [2, 3]
+        assert example1_dataset.value_counts(0) == [5, 0]
+
+    def test_label_access(self):
+        dataset = Dataset(
+            Schema.binary(1),
+            np.zeros((2, 1), dtype=np.int32),
+            labels={"y": np.array([0, 1])},
+        )
+        assert dataset.label_names == ("y",)
+        assert dataset.label("y").tolist() == [0, 1]
+        with pytest.raises(DataError):
+            dataset.label("z")
+
+    def test_describe_mentions_attributes(self, example1_dataset):
+        text = example1_dataset.describe()
+        assert "A1" in text and "n=5" in text
+
+    def test_len(self, example1_dataset):
+        assert len(example1_dataset) == 5

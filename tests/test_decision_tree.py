@@ -1,0 +1,112 @@
+"""Unit tests for the categorical CART substrate (§V-B2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.ml.decision_tree import DecisionTreeClassifier, _gini
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert _gini(np.array([1, 1, 1])) == 0.0
+
+    def test_balanced_binary_is_half(self):
+        assert _gini(np.array([0, 1, 0, 1])) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert _gini(np.array([], dtype=int)) == 0.0
+
+
+class TestFitPredict:
+    def test_learns_xor_of_categoricals(self):
+        rng = np.random.default_rng(0)
+        features = rng.integers(0, 2, size=(400, 2))
+        labels = features[:, 0] ^ features[:, 1]
+        model = DecisionTreeClassifier().fit(features, labels)
+        assert (model.predict(features) == labels).all()
+
+    def test_learns_multiway_split(self):
+        features = np.array([[v] for v in [0, 1, 2] * 30])
+        labels = np.array([v % 2 for v in [0, 1, 2] * 30])
+        model = DecisionTreeClassifier().fit(features, labels)
+        assert model.predict([[0], [1], [2]]).tolist() == [0, 1, 0]
+
+    def test_constant_labels_single_leaf(self):
+        model = DecisionTreeClassifier().fit(np.zeros((5, 2), dtype=int), np.ones(5, dtype=int))
+        assert model.depth() == 0
+        assert model.node_count() == 1
+        assert model.predict([[0, 0]]).tolist() == [1]
+
+    def test_unseen_value_falls_back_to_majority(self):
+        features = np.array([[0], [0], [1], [1], [1]])
+        labels = np.array([0, 0, 1, 1, 1])
+        model = DecisionTreeClassifier().fit(features, labels)
+        # Value 2 never appeared: prediction falls back to the node
+        # majority, which is 1 (three of five training rows).
+        assert model.predict([[2]]).tolist() == [1]
+
+    def test_max_depth_limits_tree(self):
+        rng = np.random.default_rng(1)
+        features = rng.integers(0, 2, size=(300, 4))
+        labels = features[:, 0] ^ features[:, 1] ^ features[:, 2]
+        deep = DecisionTreeClassifier().fit(features, labels)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        assert deep.depth() > shallow.depth()
+        assert shallow.depth() <= 1
+
+    def test_min_samples_split(self):
+        features = np.array([[0], [1]])
+        labels = np.array([0, 1])
+        model = DecisionTreeClassifier(min_samples_split=3).fit(features, labels)
+        assert model.depth() == 0
+
+    def test_min_impurity_decrease_blocks_weak_splits(self):
+        rng = np.random.default_rng(2)
+        features = rng.integers(0, 2, size=(200, 1))
+        labels = (rng.uniform(size=200) < 0.5).astype(int)  # noise only
+        model = DecisionTreeClassifier(min_impurity_decrease=0.05).fit(features, labels)
+        assert model.depth() == 0
+
+    def test_predict_proba_is_leaf_purity(self):
+        features = np.array([[0], [0], [0], [1]])
+        labels = np.array([0, 0, 1, 1])
+        model = DecisionTreeClassifier().fit(features, labels)
+        proba = model.predict_proba([[0], [1]])
+        assert proba[0] == pytest.approx(2 / 3)
+        assert proba[1] == pytest.approx(1.0)
+
+    def test_each_attribute_used_once_per_path(self):
+        # Multiway splits consume an attribute entirely, so depth cannot
+        # exceed the number of attributes.
+        rng = np.random.default_rng(3)
+        features = rng.integers(0, 3, size=(500, 3))
+        labels = rng.integers(0, 2, size=500)
+        model = DecisionTreeClassifier().fit(features, labels)
+        assert model.depth() <= 3
+
+
+class TestValidation:
+    def test_bad_hyperparameters(self):
+        with pytest.raises(DataError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(DataError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_fit_shape_checks(self):
+        model = DecisionTreeClassifier()
+        with pytest.raises(DataError):
+            model.fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(DataError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(DataError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(DataError):
+            DecisionTreeClassifier().predict([[0]])
+
+    def test_predict_shape_check(self):
+        model = DecisionTreeClassifier().fit(np.zeros((4, 2), dtype=int), np.zeros(4, dtype=int))
+        with pytest.raises(DataError):
+            model.predict([[0, 0, 0]])

@@ -1,0 +1,56 @@
+"""Unit tests for before/after coverage diffs."""
+
+import pytest
+
+from repro.analysis.diff import coverage_diff
+from repro.core.enhancement.greedy import enhance_coverage
+from repro.core.mups import deepdiver, find_mups
+from repro.core.pattern import Pattern
+from repro.data.synthetic import random_categorical_dataset
+from repro.exceptions import ReproError
+
+
+class TestCoverageDiff:
+    def test_acquisition_resolves_targets(self):
+        dataset = random_categorical_dataset(60, (2, 3, 2), seed=21, skew=1.1)
+        tau = 5
+        before = deepdiver(dataset, tau)
+        _plan, enhanced = enhance_coverage(dataset, before.mups, level=2, threshold=tau)
+        after = deepdiver(enhanced, tau)
+        diff = coverage_diff(before, after, dataset.d)
+        assert diff.after_level >= 2
+        assert diff.improved or before.max_covered_level(dataset.d) >= 2
+        # Enhancement only adds rows: nothing can regress.
+        assert diff.regressed == ()
+
+    def test_new_specific_mups_are_refined(self):
+        dataset = random_categorical_dataset(60, (2, 2, 2), seed=22, skew=1.3)
+        tau = 6
+        before = deepdiver(dataset, tau)
+        if not before.mups:
+            pytest.skip("seed produced a fully covered dataset")
+        _plan, enhanced = enhance_coverage(dataset, before.mups, level=1, threshold=tau)
+        after = deepdiver(enhanced, tau)
+        diff = coverage_diff(before, after, dataset.d)
+        for pattern in diff.refined:
+            assert any(old.dominates(pattern) for old in diff.resolved)
+
+    def test_identical_runs_diff_is_empty(self, example1_dataset):
+        result = find_mups(example1_dataset, threshold=1)
+        diff = coverage_diff(result, result, example1_dataset.d)
+        assert diff.resolved == () and diff.refined == () and diff.regressed == ()
+        assert diff.persisting == result.mups
+        assert not diff.improved
+
+    def test_threshold_mismatch_rejected(self, example1_dataset):
+        a = find_mups(example1_dataset, threshold=1)
+        b = find_mups(example1_dataset, threshold=2)
+        with pytest.raises(ReproError):
+            coverage_diff(a, b, example1_dataset.d)
+
+    def test_render_mentions_levels(self, example1_dataset):
+        result = find_mups(example1_dataset, threshold=1)
+        diff = coverage_diff(result, result, example1_dataset.d)
+        text = diff.render(example1_dataset.schema)
+        assert "max covered level" in text
+        assert "persisting" in text

@@ -1,0 +1,46 @@
+"""Sanity checks on the example scripts.
+
+The examples are exercised end-to-end manually (they take minutes); here we
+assert they at least parse, import cleanly, and expose a ``main`` entry
+point, so a refactor cannot silently break them.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 4
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions
+    # A module docstring telling the user how to run it.
+    assert ast.get_docstring(tree)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Import the module without executing main() (guarded by __main__)."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert callable(module.main)
+    finally:
+        sys.modules.pop(spec.name, None)

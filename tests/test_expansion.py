@@ -1,0 +1,90 @@
+"""Unit tests for MUP expansion to level-λ targets (Appendix C)."""
+
+import pytest
+
+from repro.core.coverage import CoverageOracle
+from repro.core.enhancement.expansion import uncovered_at_level
+from repro.core.mups import deepdiver
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternSpace
+from repro.data.synthetic import random_categorical_dataset
+from repro.exceptions import EnhancementError
+
+
+class TestExample2:
+    def test_level2_targets_expand_shallow_mups(self, example2_space, example2_mups):
+        # λ = 2: the MUPs of level <= 2 are P1 (XX01X), P3 (XXXX1), and
+        # P4 (02XXX) and P5 (XX11X); P3 sits at level 1 and must be expanded
+        # into its level-2 descendants (Appendix C).  (The paper's running
+        # text calls the target set "P1 to P6", but P2 and P6 are level-3
+        # patterns — the precise semantics is Appendix C's.)
+        targets = set(uncovered_at_level(example2_mups, example2_space, 2))
+        expected = set()
+        for mup in example2_mups:
+            if mup.level <= 2:
+                expected |= set(example2_space.descendants_at_level(mup, 2))
+        assert targets == expected
+        assert Pattern.from_string("XX01X") in targets
+        assert Pattern.from_string("02XXX") in targets
+        assert Pattern.from_string("XX11X") in targets
+        assert Pattern.from_string("0XXX1") in targets  # expanded from P3
+        assert Pattern.from_string("1X20X") not in targets  # P2 is level 3
+
+    def test_deeper_mup_ignored(self, example2_space, example2_mups):
+        # P7 = X020X (level 3) contributes nothing at λ = 2.
+        p7 = example2_mups[6]
+        targets = uncovered_at_level([p7], example2_space, 2)
+        assert targets == []
+
+    def test_covering_mups_only_is_insufficient(self, example2_space, example2_mups):
+        # Appendix C's counterexample: 1X11X (level 3) is uncovered (child
+        # of P5 = XX11X) yet matched by none of the paper's three
+        # combinations — hence λ = 3 requires expansion, not just MUPs.
+        paper_combos = [(0, 2, 0, 1, 1), (0, 2, 1, 1, 1), (1, 0, 2, 0, 1)]
+        problem_pattern = Pattern.from_string("1X11X")
+        assert any(problem_pattern.covers(Pattern(c)) is False for c in paper_combos)
+        assert all(not problem_pattern.matches(c) for c in paper_combos)
+        targets = uncovered_at_level(example2_mups, example2_space, 3)
+        assert problem_pattern in targets
+
+
+class TestSemantics:
+    def test_targets_are_exactly_uncovered_patterns_at_level(self):
+        dataset = random_categorical_dataset(40, (2, 3, 2), seed=8, skew=0.9)
+        tau = 4
+        oracle = CoverageOracle(dataset)
+        space = PatternSpace.for_dataset(dataset)
+        mups = deepdiver(dataset, tau).mups
+        for level in range(space.d + 1):
+            targets = set(uncovered_at_level(mups, space, level))
+            brute = {
+                p
+                for p in space.all_patterns()
+                if p.level == level and oracle.coverage(p) < tau
+            }
+            # Patterns only below deeper MUPs are covered at this level, so
+            # the brute-force set must match exactly.
+            assert targets == brute
+
+    def test_mup_at_level_is_its_own_target(self, example2_space):
+        mup = Pattern.from_string("XX01X")
+        targets = uncovered_at_level([mup], example2_space, 2)
+        assert targets == [mup]
+
+    def test_deduplication_across_mups(self, example2_space):
+        # Two MUPs sharing descendants must not duplicate targets.
+        mups = [Pattern.from_string("0XXXX"), Pattern.from_string("X0XXX")]
+        targets = uncovered_at_level(mups, example2_space, 2)
+        assert len(targets) == len(set(targets))
+        assert Pattern.from_string("00XXX") in targets
+
+    def test_level_out_of_range(self, example2_space):
+        with pytest.raises(EnhancementError):
+            uncovered_at_level([], example2_space, 9)
+
+    def test_limit_guard(self, example2_space, example2_mups):
+        with pytest.raises(EnhancementError):
+            uncovered_at_level(example2_mups, example2_space, 4, limit=10)
+
+    def test_empty_mups_empty_targets(self, example2_space):
+        assert uncovered_at_level([], example2_space, 3) == []

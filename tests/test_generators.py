@@ -1,0 +1,170 @@
+"""Unit tests for the dataset simulators (COMPAS, AirBnB, BlueNile, synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.data.airbnb import AMENITY_NAMES, load_airbnb, load_airbnb_full
+from repro.data.bluenile import BLUENILE_SCHEMA, load_bluenile
+from repro.data.compas import COMPAS_SCHEMA, hispanic_female_split, load_compas
+from repro.data.synthetic import (
+    correlated_binary_dataset,
+    diagonal_dataset,
+    random_categorical_dataset,
+)
+from repro.exceptions import DataError
+
+
+class TestCompas:
+    def test_default_size_and_schema(self):
+        dataset = load_compas()
+        assert dataset.n == 6889
+        assert dataset.schema == COMPAS_SCHEMA
+        assert dataset.cardinalities == (2, 4, 4, 7)
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(load_compas(seed=1).rows, load_compas(seed=1).rows)
+        assert not np.array_equal(load_compas(seed=1).rows, load_compas(seed=2).rows)
+
+    def test_hispanic_female_count_is_100(self):
+        dataset = load_compas()
+        rows = dataset.rows
+        hf = (rows[:, 0] == 1) & (rows[:, 2] == 2)
+        assert int(hf.sum()) == 100
+
+    def test_widowed_hispanics_are_two_and_reoffended(self):
+        # The paper's XX23 anecdote: two matching rows, both re-offended.
+        dataset = load_compas()
+        rows = dataset.rows
+        wh = (rows[:, 2] == 2) & (rows[:, 3] == 3)
+        assert int(wh.sum()) == 2
+        assert dataset.label("reoffended")[wh].tolist() == [1, 1]
+
+    def test_all_single_values_covered_at_tau_10(self):
+        # §V-B1: "all the single attribute values contain more instances
+        # than the threshold".
+        dataset = load_compas()
+        for attribute in range(dataset.d):
+            counts = dataset.value_counts(attribute)
+            assert min(counts) >= 10
+
+    def test_label_present(self):
+        dataset = load_compas()
+        label = dataset.label("reoffended")
+        assert set(np.unique(label)) <= {0, 1}
+
+    def test_hispanic_female_split(self):
+        dataset = load_compas()
+        test, pool, rest = hispanic_female_split(dataset)
+        assert len(test) == 20
+        assert len(pool) == 80
+        assert len(test) + len(pool) + len(rest) == dataset.n
+        assert set(test).isdisjoint(pool)
+
+    def test_small_n_still_works(self):
+        dataset = load_compas(n=500, seed=3)
+        assert dataset.n == 500
+
+
+class TestAirbnb:
+    def test_shape_and_binary(self):
+        dataset = load_airbnb(n=2000, d=13)
+        assert dataset.n == 2000
+        assert dataset.d == 13
+        assert dataset.cardinalities == (2,) * 13
+
+    def test_attribute_names_are_amenities(self):
+        dataset = load_airbnb(n=100, d=5)
+        assert dataset.schema.names == AMENITY_NAMES[:5]
+
+    def test_explicit_attribute_selection(self):
+        dataset = load_airbnb(n=100, attributes=["tv", "gym"])
+        assert dataset.schema.names == ("tv", "gym")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(DataError):
+            load_airbnb(n=10, attributes=["jacuzzi"])
+
+    def test_d_bounds_checked(self):
+        with pytest.raises(DataError):
+            load_airbnb(n=10, d=99)
+
+    def test_rates_are_heterogeneous(self):
+        dataset = load_airbnb(n=5000, d=36)
+        rates = dataset.rows.mean(axis=0)
+        assert rates.max() > 0.75
+        assert rates.min() < 0.25
+
+    def test_deterministic_given_seed(self):
+        a = load_airbnb(n=500, d=8, seed=4)
+        b = load_airbnb(n=500, d=8, seed=4)
+        assert np.array_equal(a.rows, b.rows)
+
+    def test_full_table(self):
+        dataset = load_airbnb_full(n=300)
+        assert dataset.d == 41
+        assert dataset.cardinalities[-5:] == (3, 6, 5, 5, 10)
+
+
+class TestBlueNile:
+    def test_cardinalities_match_paper(self):
+        dataset = load_bluenile(n=5000)
+        assert dataset.schema == BLUENILE_SCHEMA
+        assert dataset.cardinalities == (10, 4, 7, 8, 3, 3, 5)
+
+    def test_default_catalog_size(self):
+        dataset = load_bluenile(n=116_300)
+        assert dataset.n == 116_300
+
+    def test_round_shape_dominates(self):
+        dataset = load_bluenile(n=20_000)
+        shapes = dataset.value_counts("shape")
+        assert shapes[0] == max(shapes)
+
+    def test_finish_correlates_with_cut(self):
+        dataset = load_bluenile(n=20_000)
+        rows = dataset.rows
+        top_cut = rows[:, 1] >= 2
+        poor_polish_given_top = (rows[top_cut, 4] == 0).mean()
+        poor_polish_given_low = (rows[~top_cut, 4] == 0).mean()
+        assert poor_polish_given_top < poor_polish_given_low
+
+
+class TestSynthetic:
+    def test_diagonal_needs_two(self):
+        with pytest.raises(DataError):
+            diagonal_dataset(1)
+
+    def test_random_skew_concentrates_low_codes(self):
+        dataset = random_categorical_dataset(5000, (5,), seed=0, skew=1.5)
+        counts = dataset.value_counts(0)
+        assert counts[0] == max(counts)
+
+    def test_random_uniform_when_no_skew(self):
+        dataset = random_categorical_dataset(6000, (3,), seed=0, skew=0.0)
+        counts = dataset.value_counts(0)
+        assert max(counts) - min(counts) < 600
+
+    def test_random_rejects_negative_n(self):
+        with pytest.raises(DataError):
+            random_categorical_dataset(-1, (2,))
+
+    def test_correlated_binary_shape(self):
+        dataset = correlated_binary_dataset(1000, 6, seed=1)
+        assert dataset.n == 1000
+        assert dataset.d == 6
+
+    def test_correlated_binary_validates_inputs(self):
+        with pytest.raises(DataError):
+            correlated_binary_dataset(10, 0)
+        with pytest.raises(DataError):
+            correlated_binary_dataset(10, 2, correlation=1.5)
+        with pytest.raises(DataError):
+            correlated_binary_dataset(10, 2, base_rates=[0.5])
+
+    def test_correlated_binary_is_correlated(self):
+        dataset = correlated_binary_dataset(
+            8000, 2, seed=2, base_rates=[0.5, 0.5], correlation=0.9
+        )
+        rows = dataset.rows
+        correlation = np.corrcoef(rows[:, 0], rows[:, 1])[0, 1]
+        assert correlation > 0.2

@@ -1,0 +1,144 @@
+"""Unit tests for attribute hierarchies and roll-ups (§II)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageOracle
+from repro.core.mups import find_mups
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset, Schema
+from repro.data.hierarchy import AttributeHierarchy, drill_down, rollup
+from repro.exceptions import DataError, SchemaError
+
+STATE_SCHEMA = Schema.of(
+    ["state", "sex"],
+    [4, 2],
+    [["MI", "OH", "CA", "WA"], ["male", "female"]],
+)
+
+
+def make_dataset():
+    rows = np.array(
+        [[0, 0], [0, 1], [1, 0], [2, 0], [2, 1], [3, 0], [3, 0], [1, 1]],
+        dtype=np.int32,
+    )
+    return Dataset(STATE_SCHEMA, rows)
+
+
+class TestAttributeHierarchy:
+    def test_of_and_cardinality(self):
+        hierarchy = AttributeHierarchy.of("state", [0, 0, 1, 1], ["midwest", "west"])
+        assert hierarchy.coarse_cardinality == 2
+        assert hierarchy.fine_codes_of(0) == (0, 1)
+        assert hierarchy.fine_codes_of(1) == (2, 3)
+
+    def test_from_label_map(self):
+        hierarchy = AttributeHierarchy.from_label_map(
+            STATE_SCHEMA,
+            "state",
+            {"MI": "midwest", "OH": "midwest", "CA": "west", "WA": "west"},
+        )
+        assert hierarchy.groups == (0, 0, 1, 1)
+        assert hierarchy.group_labels == ("midwest", "west")
+
+    def test_from_label_map_requires_complete_mapping(self):
+        with pytest.raises(SchemaError):
+            AttributeHierarchy.from_label_map(
+                STATE_SCHEMA, "state", {"MI": "midwest"}
+            )
+
+    def test_dense_group_codes_required(self):
+        with pytest.raises(SchemaError):
+            AttributeHierarchy.of("state", [0, 0, 2, 2])
+
+    def test_label_count_checked(self):
+        with pytest.raises(SchemaError):
+            AttributeHierarchy.of("state", [0, 0, 1, 1], ["only-one"])
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeHierarchy.of("state", [])
+
+
+class TestRollup:
+    HIERARCHY = AttributeHierarchy.of("state", [0, 0, 1, 1], ["midwest", "west"])
+
+    def test_rollup_reduces_cardinality(self):
+        roll = rollup(make_dataset(), [self.HIERARCHY])
+        assert roll.dataset.cardinalities == (2, 2)
+        assert roll.dataset.schema.value_labels[0] == ("midwest", "west")
+
+    def test_rollup_preserves_counts(self):
+        dataset = make_dataset()
+        roll = rollup(dataset, [self.HIERARCHY])
+        oracle = CoverageOracle(roll.dataset)
+        fine_oracle = CoverageOracle(dataset)
+        # cov(midwest) == cov(MI) + cov(OH).
+        assert oracle.coverage(Pattern.from_string("0X")) == fine_oracle.coverage(
+            Pattern.from_string("0X")
+        ) + fine_oracle.coverage(Pattern.from_string("1X"))
+
+    def test_rollup_preserves_labels_column(self):
+        dataset = make_dataset()
+        dataset = Dataset(
+            dataset.schema, dataset.rows, labels={"y": np.arange(dataset.n)}
+        )
+        roll = rollup(dataset, [self.HIERARCHY])
+        assert roll.dataset.label("y").tolist() == list(range(dataset.n))
+
+    def test_hierarchy_size_checked(self):
+        with pytest.raises(SchemaError):
+            rollup(make_dataset(), [AttributeHierarchy.of("state", [0, 1, 1])])
+
+    def test_duplicate_hierarchy_rejected(self):
+        with pytest.raises(SchemaError):
+            rollup(make_dataset(), [self.HIERARCHY, self.HIERARCHY])
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            rollup(make_dataset(), [AttributeHierarchy.of("zipcode", [0, 0, 1, 1])])
+
+
+class TestDrillDown:
+    HIERARCHY = AttributeHierarchy.of("state", [0, 0, 1, 1], ["midwest", "west"])
+
+    def test_coarse_pattern_expands_to_members(self):
+        roll = rollup(make_dataset(), [self.HIERARCHY])
+        fine = drill_down(Pattern.from_string("01"), roll)
+        assert set(map(str, fine)) == {"01", "11"}
+
+    def test_x_passes_through(self):
+        roll = rollup(make_dataset(), [self.HIERARCHY])
+        fine = drill_down(Pattern.from_string("X1"), roll)
+        assert set(map(str, fine)) == {"X1"}
+
+    def test_matches_are_partitioned(self):
+        dataset = make_dataset()
+        roll = rollup(dataset, [self.HIERARCHY])
+        coarse_oracle = CoverageOracle(roll.dataset)
+        fine_oracle = CoverageOracle(dataset)
+        coarse_pattern = Pattern.from_string("1X")
+        fine_patterns = drill_down(coarse_pattern, roll)
+        assert coarse_oracle.coverage(coarse_pattern) == sum(
+            fine_oracle.coverage(p) for p in fine_patterns
+        )
+
+    def test_length_checked(self):
+        roll = rollup(make_dataset(), [self.HIERARCHY])
+        with pytest.raises(DataError):
+            drill_down(Pattern.from_string("0X1"), roll)
+
+
+class TestEndToEndWorkflow:
+    def test_coarse_mups_guide_fine_analysis(self):
+        # Roll up, find coarse MUPs, drill into one, and confirm every fine
+        # expansion is uncovered in the fine data too (union of matches).
+        dataset = make_dataset()
+        hierarchy = AttributeHierarchy.of("state", [0, 0, 1, 1], ["midwest", "west"])
+        roll = rollup(dataset, [hierarchy])
+        coarse_result = find_mups(roll.dataset, threshold=3)
+        fine_oracle = CoverageOracle(dataset)
+        for mup in coarse_result:
+            for fine in drill_down(mup, roll):
+                # Fine coverage can only be smaller than the coarse region's.
+                assert fine_oracle.coverage(fine) < 3 or fine.level == 0

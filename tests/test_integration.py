@@ -1,0 +1,111 @@
+"""Cross-module integration tests: the full assess → report → remedy
+pipeline on each dataset simulator, plus artefact round trips."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CoverageOracle,
+    PatternSpace,
+    ValidationOracle,
+    enhance_coverage,
+    find_mups,
+    greedy_cover,
+    uncovered_at_level,
+)
+from repro.analysis import coverage_diff, coverage_label, enhancement_report, mup_report
+from repro.data.airbnb import load_airbnb
+from repro.data.bluenile import load_bluenile
+from repro.data.compas import load_compas
+from repro.io import load_mup_result, save_mup_result
+
+
+class TestCompasPipeline:
+    @pytest.fixture(scope="class")
+    def compas(self):
+        return load_compas()
+
+    def test_full_pipeline(self, compas, tmp_path):
+        # Assess.
+        result = find_mups(compas, threshold=10)
+        assert len(result) > 0
+        # Persist and reload for the human-in-the-loop review.
+        save_mup_result(result, tmp_path / "mups.json")
+        reloaded = load_mup_result(tmp_path / "mups.json")
+        assert reloaded.as_set() == result.as_set()
+        # Report.
+        report = mup_report(compas, reloaded, limit=5)
+        assert "pattern" in report
+        label = coverage_label(compas, threshold=10, result=reloaded)
+        assert label.mup_count == len(result)
+        # Remedy at λ=1 (cheap) and verify with a diff.
+        plan, enhanced = enhance_coverage(compas, reloaded.mups, level=1, threshold=10)
+        after = find_mups(enhanced, threshold=10)
+        diff = coverage_diff(result, after, compas.d)
+        assert after.max_covered_level(compas.d) >= 1
+        assert diff.regressed == ()
+
+    def test_projection_subsets_are_consistent(self, compas):
+        # MUPs of a projected dataset must be MUPs over those attributes.
+        projected = compas.project(["sex", "race"])
+        result = find_mups(projected, threshold=10)
+        oracle = CoverageOracle(projected)
+        for mup in result:
+            assert oracle.coverage(mup) < 10
+
+
+class TestAirbnbPipeline:
+    def test_enhancement_on_binary_data(self):
+        dataset = load_airbnb(n=5_000, d=9)
+        result = find_mups(dataset, threshold_rate=0.01)
+        tau = result.threshold
+        plan, enhanced = enhance_coverage(dataset, result.mups, level=2, threshold=tau)
+        after = find_mups(enhanced, threshold=tau)
+        assert after.max_covered_level(dataset.d) >= 2
+
+    def test_algorithms_agree_at_scale(self):
+        dataset = load_airbnb(n=5_000, d=9)
+        tau = 5
+        results = {
+            name: find_mups(dataset, threshold=tau, algorithm=name).as_set()
+            for name in ("pattern_breaker", "pattern_combiner", "deepdiver")
+        }
+        assert len(set(map(frozenset, results.values()))) == 1
+
+
+class TestBlueNilePipeline:
+    def test_high_cardinality_pipeline(self):
+        dataset = load_bluenile(n=8_000)
+        result = find_mups(dataset, threshold=20, algorithm="deepdiver")
+        space = PatternSpace.for_dataset(dataset)
+        targets = uncovered_at_level(result.mups, space, 1)
+        plan = greedy_cover(targets, space)
+        assert not plan.unhittable
+        report = enhancement_report(dataset, plan)
+        assert "Acquisition plan" in report
+
+    def test_validation_oracle_round_trip(self):
+        dataset = load_bluenile(n=8_000)
+        # Business rule: never source strong/very-strong fluorescence.
+        oracle = ValidationOracle.from_named_rules(
+            dataset.schema, [{"fluorescence": ["strong", "very-strong"]}]
+        )
+        result = find_mups(dataset, threshold=20)
+        space = PatternSpace.for_dataset(dataset)
+        targets = uncovered_at_level(result.mups, space, 1)
+        plan = greedy_cover(targets, space, oracle)
+        for combo in plan.combinations:
+            assert combo[6] not in (3, 4)
+        for target in plan.unhittable:
+            assert target[6] in (3, 4)
+
+
+class TestEnhancementIdempotence:
+    def test_second_enhancement_is_a_noop(self):
+        dataset = load_airbnb(n=3_000, d=7)
+        result = find_mups(dataset, threshold=8)
+        _plan, enhanced = enhance_coverage(dataset, result.mups, level=2, threshold=8)
+        after = find_mups(enhanced, threshold=8)
+        plan2, enhanced2 = enhance_coverage(enhanced, after.mups, level=2, threshold=8)
+        assert len(plan2.combinations) == 0
+        assert enhanced2.n == enhanced.n

@@ -1,0 +1,74 @@
+"""Unit tests for artefact persistence (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.core.enhancement.greedy import greedy_cover
+from repro.core.mups import find_mups
+from repro.exceptions import ReproError
+from repro.io import (
+    load_enhancement_result,
+    load_mup_result,
+    save_enhancement_result,
+    save_mup_result,
+)
+
+
+class TestMupResultRoundtrip:
+    def test_roundtrip(self, example1_dataset, tmp_path):
+        result = find_mups(example1_dataset, threshold=1)
+        path = tmp_path / "mups.json"
+        save_mup_result(result, path)
+        loaded = load_mup_result(path)
+        assert loaded.mups == result.mups
+        assert loaded.threshold == result.threshold
+        assert loaded.max_level == result.max_level
+        assert loaded.stats.nodes_generated == result.stats.nodes_generated
+
+    def test_roundtrip_with_max_level(self, example1_dataset, tmp_path):
+        result = find_mups(example1_dataset, threshold=2, max_level=1)
+        path = tmp_path / "mups.json"
+        save_mup_result(result, path)
+        assert load_mup_result(path).max_level == 1
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ReproError):
+            load_mup_result(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {"format": "repro.mup_result", "version": 999, "threshold": 1, "mups": []}
+            )
+        )
+        with pytest.raises(ReproError):
+            load_mup_result(path)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_mup_result(path)
+
+
+class TestEnhancementResultRoundtrip:
+    def test_roundtrip(self, example2_space, example2_level2_targets, tmp_path):
+        plan = greedy_cover(example2_level2_targets, example2_space)
+        path = tmp_path / "plan.json"
+        save_enhancement_result(plan, path)
+        loaded = load_enhancement_result(path)
+        assert loaded.combinations == plan.combinations
+        assert loaded.generalized == plan.generalized
+        assert loaded.targets == plan.targets
+        assert loaded.unhittable == plan.unhittable
+
+    def test_rejects_wrong_format(self, tmp_path, example1_dataset):
+        result = find_mups(example1_dataset, threshold=1)
+        path = tmp_path / "mups.json"
+        save_mup_result(result, path)
+        with pytest.raises(ReproError):
+            load_enhancement_result(path)

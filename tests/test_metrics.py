@@ -1,0 +1,85 @@
+"""Unit tests for classification metrics (§V-B2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    train_test_split,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 1, 1, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            accuracy_score([], [])
+
+
+class TestConfusionAndF1:
+    def test_confusion_counts(self):
+        true = [1, 1, 0, 0, 1]
+        pred = [1, 0, 1, 0, 1]
+        assert confusion_matrix(true, pred) == (2, 1, 1, 1)
+
+    def test_precision_recall(self):
+        true = [1, 1, 0, 0]
+        pred = [1, 0, 1, 0]
+        assert precision_score(true, pred) == pytest.approx(0.5)
+        assert recall_score(true, pred) == pytest.approx(0.5)
+
+    def test_f1_harmonic_mean(self):
+        true = [1, 1, 1, 0]
+        pred = [1, 1, 0, 0]
+        precision, recall = 1.0, 2 / 3
+        expected = 2 * precision * recall / (precision + recall)
+        assert f1_score(true, pred) == pytest.approx(expected)
+
+    def test_f1_zero_when_no_positive_predictions(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_precision_zero_when_no_positive_predictions(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+
+    def test_recall_zero_when_no_positives_exist(self):
+        assert recall_score([0, 0], [1, 1]) == 0.0
+
+    def test_custom_positive_class(self):
+        true = [2, 2, 0]
+        pred = [2, 0, 0]
+        assert recall_score(true, pred, positive=2) == pytest.approx(0.5)
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        train, test = train_test_split(100, test_fraction=0.25, seed=0)
+        assert len(train) == 75 and len(test) == 25
+        assert set(train).isdisjoint(test)
+        assert set(train) | set(test) == set(range(100))
+
+    def test_deterministic(self):
+        a = train_test_split(50, seed=3)
+        b = train_test_split(50, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_bad_fraction(self):
+        with pytest.raises(DataError):
+            train_test_split(10, test_fraction=1.5)
+
+    def test_too_few_rows(self):
+        with pytest.raises(DataError):
+            train_test_split(1)

@@ -1,0 +1,101 @@
+"""Unit + integration tests for the Figure 11 evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.data.compas import load_compas
+from repro.data.dataset import Dataset, Schema
+from repro.exceptions import DataError
+from repro.ml.model_eval import (
+    cross_validate,
+    removed_subgroup_accuracy,
+    subgroup_coverage_experiment,
+)
+
+
+class TestCrossValidate:
+    def test_separable_data_scores_high(self):
+        rng = np.random.default_rng(0)
+        features = rng.integers(0, 2, size=(300, 2))
+        labels = features[:, 0]
+        accuracy, f1 = cross_validate(features, labels, folds=5)
+        assert accuracy > 0.95
+        assert f1 > 0.95
+
+    def test_fold_bounds(self):
+        features = np.zeros((10, 1), dtype=int)
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(DataError):
+            cross_validate(features, labels, folds=1)
+        with pytest.raises(DataError):
+            cross_validate(features, labels, folds=11)
+
+    def test_compas_matches_paper_band(self):
+        # The paper reports accuracy 0.76 and f1 0.7 on a random test set.
+        dataset = load_compas()
+        accuracy, f1 = cross_validate(dataset.rows, dataset.label("reoffended"))
+        assert 0.70 <= accuracy <= 0.82
+        assert 0.65 <= f1 <= 0.85
+
+
+class TestSubgroupExperiment:
+    @pytest.fixture(scope="class")
+    def compas(self):
+        return load_compas()
+
+    @pytest.fixture(scope="class")
+    def hf_mask(self, compas):
+        rows = compas.rows
+        return (rows[:, 0] == 1) & (rows[:, 2] == 2)
+
+    def test_row_per_increment(self, compas, hf_mask):
+        rows = subgroup_coverage_experiment(
+            compas, "reoffended", hf_mask, increments=(0, 20, 40)
+        )
+        assert [r.subgroup_in_training for r in rows] == [0, 20, 40]
+
+    def test_figure11_shape(self, compas, hf_mask):
+        rows = subgroup_coverage_experiment(compas, "reoffended", hf_mask)
+        # Zero-coverage model performs poorly on the subgroup...
+        assert rows[0].subgroup_accuracy <= 0.55
+        # ...and remedying coverage lifts it substantially...
+        assert rows[-1].subgroup_accuracy >= rows[0].subgroup_accuracy + 0.2
+        # ...while the overall accuracy stays flat (same model family).
+        overall = {round(r.overall_accuracy, 2) for r in rows}
+        assert len(overall) == 1
+
+    def test_mask_length_checked(self, compas):
+        with pytest.raises(DataError):
+            subgroup_coverage_experiment(compas, "reoffended", np.ones(3, dtype=bool))
+
+    def test_subgroup_too_small_rejected(self, compas):
+        rows = compas.rows
+        tiny = (rows[:, 2] == 2) & (rows[:, 3] == 3)  # two widowed Hispanics
+        with pytest.raises(DataError):
+            subgroup_coverage_experiment(compas, "reoffended", tiny)
+
+    def test_fo_mo_asymmetry(self, compas):
+        # §V-B2: FO (other-race women) deviate more than MO (other-race men):
+        # paper accuracies 0.39 vs 0.59.
+        rows = compas.rows
+        fo = (rows[:, 0] == 1) & (rows[:, 2] == 3)
+        mo = (rows[:, 0] == 0) & (rows[:, 2] == 3)
+        fo_accuracy = removed_subgroup_accuracy(compas, "reoffended", fo)
+        mo_accuracy = removed_subgroup_accuracy(compas, "reoffended", mo)
+        assert fo_accuracy < mo_accuracy
+        assert fo_accuracy < 0.5
+
+
+class TestSmallSynthetic:
+    def test_experiment_on_synthetic_subgroup(self):
+        rng = np.random.default_rng(5)
+        features = rng.integers(0, 2, size=(500, 3))
+        subgroup = features[:, 0] == 1
+        labels = np.where(subgroup, 1 - features[:, 1], features[:, 1])
+        dataset = Dataset(
+            Schema.binary(3), features.astype(np.int32), labels={"y": labels}
+        )
+        rows = subgroup_coverage_experiment(
+            dataset, "y", subgroup, increments=(0, 40), test_size=10
+        )
+        assert rows[0].subgroup_accuracy < rows[1].subgroup_accuracy

@@ -1,0 +1,212 @@
+"""Unit tests for the five MUP identification algorithms (§III, §V-C).
+
+Every algorithm is checked against Example 1's known answer, against the
+naive ground truth on randomized data, and for its specific contract
+(level caps, ablation flags, guards).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageOracle
+from repro.core.mups import (
+    ALGORITHMS,
+    apriori_mups,
+    deepdiver,
+    find_mups,
+    naive_mups,
+    pattern_breaker,
+    pattern_combiner,
+)
+from repro.core.mups.base import resolve_threshold
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset, Schema
+from repro.data.synthetic import random_categorical_dataset
+from repro.exceptions import ReproError
+
+ALL_NAMES = ["naive", "pattern_breaker", "pattern_combiner", "deepdiver", "apriori"]
+
+
+class TestExample1:
+    """Example 1 (§III-A): the only MUP at τ=1 is 1XX."""
+
+    @pytest.mark.parametrize("algorithm", ALL_NAMES)
+    def test_single_mup(self, example1_dataset, algorithm):
+        result = find_mups(example1_dataset, threshold=1, algorithm=algorithm)
+        assert set(map(str, result.mups)) == {"1XX"}
+
+    @pytest.mark.parametrize("algorithm", ALL_NAMES)
+    def test_dominated_patterns_excluded(self, example1_dataset, algorithm):
+        result = find_mups(example1_dataset, threshold=1, algorithm=algorithm)
+        # The 8 dominated uncovered patterns (1X0, 1X1, 10X, ...) must not
+        # appear.
+        assert Pattern.from_string("1X0") not in result
+        assert Pattern.from_string("111") not in result
+
+
+class TestDegenerateThresholds:
+    @pytest.mark.parametrize("algorithm", ALL_NAMES)
+    def test_threshold_above_n_makes_root_the_mup(self, example1_dataset, algorithm):
+        result = find_mups(example1_dataset, threshold=100, algorithm=algorithm)
+        assert set(map(str, result.mups)) == {"XXX"}
+
+    @pytest.mark.parametrize(
+        "algorithm", ["naive", "pattern_breaker", "pattern_combiner", "deepdiver"]
+    )
+    def test_fully_covered_dataset_has_no_mups(self, algorithm):
+        # Every combination of a 2x2 space appears 3 times.
+        rows = [[a, b] for a in (0, 1) for b in (0, 1)] * 3
+        dataset = Dataset.from_rows(rows, cardinalities=[2, 2])
+        result = find_mups(dataset, threshold=3, algorithm=algorithm)
+        assert len(result) == 0
+        assert result.max_covered_level(2) == 2
+
+
+class TestRandomCrossCheck:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_algorithms_match_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        cardinalities = tuple(rng.choice([2, 2, 3, 4], size=rng.integers(2, 5)))
+        n = int(rng.integers(5, 80))
+        tau = int(rng.integers(1, 6))
+        dataset = random_categorical_dataset(
+            n, cardinalities, seed=seed, skew=float(rng.uniform(0, 1.2))
+        )
+        reference = naive_mups(dataset, tau).as_set()
+        for algorithm in ["pattern_breaker", "pattern_combiner", "deepdiver", "apriori"]:
+            result = find_mups(dataset, threshold=tau, algorithm=algorithm)
+            assert result.as_set() == reference, (
+                f"{algorithm} disagrees with naive on seed={seed}"
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mup_definition_holds(self, seed):
+        dataset = random_categorical_dataset(50, (2, 3, 2), seed=seed, skew=0.9)
+        tau = 4
+        oracle = CoverageOracle(dataset)
+        result = deepdiver(dataset, tau)
+        for mup in result:
+            assert oracle.coverage(mup) < tau
+            for parent in mup.parents():
+                assert oracle.coverage(parent) >= tau
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_mup_dominates_another(self, seed):
+        dataset = random_categorical_dataset(50, (2, 2, 3), seed=seed, skew=0.9)
+        result = deepdiver(dataset, 4)
+        mups = list(result)
+        for i, a in enumerate(mups):
+            for b in mups[i + 1 :]:
+                assert not a.dominates(b)
+                assert not b.dominates(a)
+
+
+class TestLevelCaps:
+    @pytest.mark.parametrize("algorithm", ["pattern_breaker", "deepdiver", "naive"])
+    def test_max_level_returns_shallow_mups_only(self, algorithm):
+        dataset = random_categorical_dataset(60, (2, 2, 2, 2), seed=1, skew=1.0)
+        full = naive_mups(dataset, 6).as_set()
+        for cap in range(5):
+            capped = find_mups(
+                dataset, threshold=6, algorithm=algorithm, max_level=cap
+            )
+            expected = {p for p in full if p.level <= cap}
+            assert capped.as_set() == expected
+
+    def test_max_level_recorded_in_result(self):
+        dataset = random_categorical_dataset(30, (2, 2), seed=0)
+        result = find_mups(dataset, threshold=2, algorithm="deepdiver", max_level=1)
+        assert result.max_level == 1
+
+
+class TestAblationFlags:
+    def test_breaker_without_masks_agrees(self):
+        dataset = random_categorical_dataset(50, (2, 3, 2), seed=2, skew=0.8)
+        with_masks = pattern_breaker(dataset, 4, use_masks=True)
+        without = pattern_breaker(dataset, 4, use_masks=False)
+        assert with_masks.as_set() == without.as_set()
+
+    def test_deepdiver_without_index_agrees(self):
+        dataset = random_categorical_dataset(50, (2, 3, 2), seed=3, skew=0.8)
+        with_index = deepdiver(dataset, 4, use_dominance_index=True)
+        without = deepdiver(dataset, 4, use_dominance_index=False)
+        assert with_index.as_set() == without.as_set()
+
+
+class TestGuards:
+    def test_naive_refuses_huge_spaces(self):
+        dataset = random_categorical_dataset(10, (4,) * 12, seed=0)
+        with pytest.raises(ReproError):
+            naive_mups(dataset, 2)
+
+    def test_combiner_refuses_huge_bottom_level(self):
+        dataset = random_categorical_dataset(10, (10,) * 9, seed=0)
+        with pytest.raises(ReproError):
+            pattern_combiner(dataset, 2)
+
+    def test_unknown_algorithm_rejected(self, example1_dataset):
+        with pytest.raises(ReproError):
+            find_mups(example1_dataset, threshold=1, algorithm="nope")
+
+    def test_threshold_and_rate_are_exclusive(self, example1_dataset):
+        with pytest.raises(ReproError):
+            find_mups(example1_dataset, threshold=1, threshold_rate=0.5)
+        with pytest.raises(ReproError):
+            find_mups(example1_dataset)
+
+    def test_threshold_must_be_positive(self, example1_dataset):
+        with pytest.raises(ReproError):
+            find_mups(example1_dataset, threshold=0)
+
+    def test_resolve_threshold_rate(self, example1_dataset):
+        assert resolve_threshold(example1_dataset, threshold_rate=0.5) == 3
+
+    def test_registry_contains_all_algorithms(self):
+        assert set(ALL_NAMES) <= set(ALGORITHMS)
+
+
+class TestResultType:
+    def test_result_is_sorted_and_iterable(self, example1_dataset):
+        result = find_mups(example1_dataset, threshold=2, algorithm="naive")
+        assert list(result.mups) == sorted(result.mups)
+        assert len(list(iter(result))) == len(result)
+
+    def test_level_histogram(self):
+        dataset = random_categorical_dataset(50, (2, 2, 2), seed=4, skew=1.0)
+        result = deepdiver(dataset, 5)
+        histogram = result.level_histogram()
+        assert sum(histogram.values()) == len(result)
+        for level, count in histogram.items():
+            assert count == len(result.at_level(level))
+
+    def test_stats_populated(self, example1_dataset):
+        result = pattern_breaker(example1_dataset, 1)
+        assert result.stats.nodes_generated > 0
+        assert result.stats.coverage_evaluations > 0
+        assert result.stats.seconds >= 0.0
+        assert isinstance(result.stats.as_dict(), dict)
+
+    def test_reused_oracle(self, example1_dataset):
+        oracle = CoverageOracle(example1_dataset)
+        result = find_mups(
+            example1_dataset, threshold=1, algorithm="deepdiver", oracle=oracle
+        )
+        assert set(map(str, result.mups)) == {"1XX"}
+        assert oracle.evaluations > 0
+
+
+class TestAprioriSpecifics:
+    def test_wasted_work_counter(self):
+        # A dataset with two frequent values of one attribute forces apriori
+        # to generate and count invalid same-attribute item-sets.
+        rows = [[0, 0]] * 10 + [[1, 0]] * 10
+        dataset = Dataset.from_rows(rows, cardinalities=[2, 2])
+        result = apriori_mups(dataset, 3)
+        assert result.stats.pruned > 0
+
+    def test_apriori_level1_mups(self):
+        rows = [[0, 0]] * 10 + [[0, 1]] * 2
+        dataset = Dataset.from_rows(rows, cardinalities=[2, 2])
+        result = apriori_mups(dataset, 3)
+        reference = naive_mups(dataset, 3)
+        assert result.as_set() == reference.as_set()

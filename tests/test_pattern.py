@@ -1,0 +1,210 @@
+"""Unit tests for the pattern algebra (§II definitions)."""
+
+import pytest
+
+from repro.core.pattern import Pattern, X, parse_patterns
+from repro.data.dataset import Schema
+from repro.exceptions import PatternError
+
+
+class TestConstruction:
+    def test_from_string_parses_values_and_x(self):
+        pattern = Pattern.from_string("1XX0")
+        assert pattern.values == (1, X, X, 0)
+
+    def test_from_string_lowercase_x(self):
+        assert Pattern.from_string("1xX0") == Pattern.from_string("1XX0")
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(PatternError):
+            Pattern.from_string("1?0")
+
+    def test_of_accepts_none_and_strings(self):
+        assert Pattern.of(1, None, "X", 0) == Pattern.from_string("1XX0")
+
+    def test_root_is_all_x(self):
+        root = Pattern.root(4)
+        assert str(root) == "XXXX"
+        assert root.is_root
+        assert root.level == 0
+
+    def test_root_rejects_zero_length(self):
+        with pytest.raises(PatternError):
+            Pattern.root(0)
+
+    def test_rejects_values_below_x(self):
+        with pytest.raises(PatternError):
+            Pattern([-2, 0])
+
+    def test_from_tuple_row(self):
+        pattern = Pattern.from_tuple_row((1, 0, 1))
+        assert pattern.is_leaf
+        assert pattern.level == 3
+
+    def test_str_roundtrip(self):
+        for text in ["XXX", "10X", "X2X1", "0000"]:
+            assert str(Pattern.from_string(text)) == text
+
+    def test_repr_contains_compact_form(self):
+        assert "1XX0" in repr(Pattern.from_string("1XX0"))
+
+    def test_parse_patterns_helper(self):
+        patterns = parse_patterns(["1X", "X0"])
+        assert patterns == (Pattern.from_string("1X"), Pattern.from_string("X0"))
+
+
+class TestStructure:
+    def test_level_counts_deterministic_elements(self):
+        # The paper's example: ℓ(1XXX) = 1, ℓ(10X1) = 3.
+        assert Pattern.from_string("1XXX").level == 1
+        assert Pattern.from_string("10X1").level == 3
+
+    def test_deterministic_indices(self):
+        pattern = Pattern.from_string("X1X0")
+        assert pattern.deterministic_indices() == (1, 3)
+        assert pattern.nondeterministic_indices() == (0, 2)
+
+    def test_is_deterministic(self):
+        pattern = Pattern.from_string("X1")
+        assert not pattern.is_deterministic(0)
+        assert pattern.is_deterministic(1)
+
+    def test_rightmost_deterministic(self):
+        assert Pattern.from_string("X1X0").rightmost_deterministic() == 3
+        assert Pattern.from_string("1XXX").rightmost_deterministic() == 0
+        assert Pattern.from_string("XXXX").rightmost_deterministic() == -1
+
+    def test_rightmost_nondeterministic(self):
+        assert Pattern.from_string("X1X0").rightmost_nondeterministic() == 2
+        assert Pattern.from_string("1111").rightmost_nondeterministic() == -1
+
+    def test_is_leaf(self):
+        assert Pattern.from_string("101").is_leaf
+        assert not Pattern.from_string("1X1").is_leaf
+
+    def test_len_and_getitem_and_iter(self):
+        pattern = Pattern.from_string("1X0")
+        assert len(pattern) == 3
+        assert pattern[0] == 1
+        assert pattern[1] == X
+        assert list(pattern) == [1, X, 0]
+
+
+class TestMatching:
+    """Definition 1's worked example: P = X1X0 over four binary attributes."""
+
+    PATTERN = Pattern.from_string("X1X0")
+
+    def test_t1_matches(self):
+        assert self.PATTERN.matches([1, 1, 0, 0])
+
+    def test_t2_matches(self):
+        assert self.PATTERN.matches([0, 1, 1, 0])
+
+    def test_t3_does_not_match(self):
+        # t3 = 1010 disagrees on A2.
+        assert not self.PATTERN.matches([1, 0, 1, 0])
+
+    def test_root_matches_everything(self):
+        assert Pattern.root(3).matches([0, 1, 5])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(PatternError):
+            self.PATTERN.matches([1, 1, 0])
+
+
+class TestDominance:
+    def test_paper_example(self):
+        # 10X1 is dominated by 1XXX.
+        general = Pattern.from_string("1XXX")
+        specific = Pattern.from_string("10X1")
+        assert general.dominates(specific)
+        assert not specific.dominates(general)
+
+    def test_dominance_is_strict(self):
+        pattern = Pattern.from_string("1X")
+        assert not pattern.dominates(pattern)
+        assert pattern.covers(pattern)
+
+    def test_incomparable_patterns(self):
+        a = Pattern.from_string("1X")
+        b = Pattern.from_string("X1")
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_different_values_do_not_dominate(self):
+        assert not Pattern.from_string("1X").dominates(Pattern.from_string("01"))
+
+    def test_covers_requires_same_length(self):
+        with pytest.raises(PatternError):
+            Pattern.from_string("1X").covers(Pattern.from_string("1XX"))
+
+    def test_is_parent_of(self):
+        parent = Pattern.from_string("1XX")
+        child = Pattern.from_string("1X0")
+        assert parent.is_parent_of(child)
+        assert not parent.is_parent_of(Pattern.from_string("100"))  # grandchild
+        assert not child.is_parent_of(parent)
+
+
+class TestNavigation:
+    def test_parents_replace_one_deterministic_element(self):
+        pattern = Pattern.from_string("10X")
+        parents = set(map(str, pattern.parents()))
+        assert parents == {"X0X", "1XX"}
+
+    def test_root_has_no_parents(self):
+        assert list(Pattern.root(3).parents()) == []
+
+    def test_with_value(self):
+        assert str(Pattern.from_string("XXX").with_value(1, 2)) == "X2X"
+        assert str(Pattern.from_string("121").with_value(1, X)) == "1X1"
+
+    def test_with_value_out_of_range_raises(self):
+        with pytest.raises(PatternError):
+            Pattern.from_string("XX").with_value(5, 1)
+
+    def test_merge_intersection(self):
+        a = Pattern.from_string("10X1")
+        b = Pattern.from_string("1X01")
+        assert str(a.merge_intersection(b)) == "1XX1"
+
+    def test_merge_intersection_length_mismatch(self):
+        with pytest.raises(PatternError):
+            Pattern.from_string("1X").merge_intersection(Pattern.from_string("1XX"))
+
+
+class TestHashingAndOrdering:
+    def test_equal_patterns_hash_equal(self):
+        assert hash(Pattern.from_string("1X0")) == hash(Pattern.from_string("1X0"))
+
+    def test_set_membership(self):
+        patterns = {Pattern.from_string("1X"), Pattern.from_string("X1")}
+        assert Pattern.from_string("1X") in patterns
+        assert Pattern.from_string("11") not in patterns
+
+    def test_sorting_is_deterministic(self):
+        patterns = [Pattern.from_string(t) for t in ["11", "X1", "1X"]]
+        assert sorted(patterns) == sorted(patterns[::-1])
+
+    def test_not_equal_to_other_types(self):
+        assert Pattern.from_string("1X") != "1X"
+
+
+class TestDescribe:
+    def test_describe_uses_labels(self):
+        schema = Schema.of(
+            ["race", "marital"],
+            [2, 2],
+            [["white", "hispanic"], ["single", "widowed"]],
+        )
+        pattern = Pattern.from_string("11")
+        assert pattern.describe(schema) == "race=hispanic, marital=widowed"
+
+    def test_describe_root(self):
+        schema = Schema.binary(2)
+        assert Pattern.root(2).describe(schema) == "(any)"
+
+    def test_describe_without_labels_uses_codes(self):
+        schema = Schema.binary(2)
+        assert Pattern.from_string("X1").describe(schema) == "A2=1"

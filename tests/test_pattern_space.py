@@ -1,0 +1,199 @@
+"""Unit tests for the pattern graph / PatternSpace (§III-B)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.exceptions import PatternError
+
+
+@pytest.fixture
+def binary3() -> PatternSpace:
+    """The Figure 2 space: three binary attributes."""
+    return PatternSpace([2, 2, 2])
+
+
+class TestCounts:
+    def test_figure2_node_count(self, binary3):
+        # The paper: (2 + 1)^3 = 27 nodes.
+        assert binary3.node_count() == 27
+
+    def test_figure2_edge_count(self, binary3):
+        # The paper: c * d * (c+1)^{d-1} = 2 * 3 * 9 = 54 edges.
+        assert binary3.edge_count() == 54
+
+    def test_figure2_level_widths(self, binary3):
+        # Level 1 has C(3,1)*2 = 6 nodes, level 2 has C(3,2)*4 = 12.
+        assert binary3.level_width(0) == 1
+        assert binary3.level_width(1) == 6
+        assert binary3.level_width(2) == 12
+        assert binary3.level_width(3) == 8
+
+    def test_level_width_out_of_range(self, binary3):
+        with pytest.raises(PatternError):
+            binary3.level_width(4)
+
+    def test_combination_count(self):
+        space = PatternSpace([2, 3, 5])
+        assert space.combination_count() == 30
+
+    def test_mixed_cardinality_node_count(self):
+        space = PatternSpace([2, 3, 5])
+        assert space.node_count() == 3 * 4 * 6
+
+    def test_value_count_paper_example(self):
+        # P = X1X0 over binary attributes: c_{A_P} = 2 * 2 = 4.
+        space = PatternSpace([2, 2, 2, 2])
+        assert space.value_count(Pattern.from_string("X1X0")) == 4
+
+    def test_value_count_root_and_leaf(self):
+        space = PatternSpace([2, 3])
+        assert space.value_count(Pattern.root(2)) == 6
+        assert space.value_count(Pattern.from_string("11")) == 1
+
+    def test_all_patterns_enumerates_node_count(self, binary3):
+        assert sum(1 for _ in binary3.all_patterns()) == 27
+
+    def test_all_combinations(self, binary3):
+        combos = list(binary3.all_combinations())
+        assert len(combos) == 8
+        assert (0, 0, 0) in combos and (1, 1, 1) in combos
+
+
+class TestValidation:
+    def test_validate_accepts_good_pattern(self, binary3):
+        pattern = Pattern.from_string("1X0")
+        assert binary3.validate(pattern) is pattern
+
+    def test_validate_rejects_wrong_length(self, binary3):
+        with pytest.raises(PatternError):
+            binary3.validate(Pattern.from_string("1X"))
+
+    def test_validate_rejects_out_of_range_value(self, binary3):
+        with pytest.raises(PatternError):
+            binary3.validate(Pattern.from_string("12X"))
+
+    def test_constructor_rejects_empty(self):
+        with pytest.raises(PatternError):
+            PatternSpace([])
+
+    def test_constructor_rejects_zero_cardinality(self):
+        with pytest.raises(PatternError):
+            PatternSpace([2, 0])
+
+    def test_for_dataset(self, example1_dataset):
+        space = PatternSpace.for_dataset(example1_dataset)
+        assert space.cardinalities == (2, 2, 2)
+
+
+class TestNavigation:
+    def test_children_enumerates_all(self, binary3):
+        children = set(map(str, binary3.children(Pattern.from_string("0XX"))))
+        assert children == {"00X", "01X", "0X0", "0X1"}
+
+    def test_rule1_children_paper_example(self, binary3):
+        # §III-C: node 0XX generates 0X0, 0X1, 00X, 01X.
+        children = set(map(str, binary3.rule1_children(Pattern.from_string("0XX"))))
+        assert children == {"00X", "01X", "0X0", "0X1"}
+
+    def test_rule1_children_respect_rightmost_rule(self, binary3):
+        # §III-C: node X1X generates only X10 and X11.
+        children = set(map(str, binary3.rule1_children(Pattern.from_string("X1X"))))
+        assert children == {"X10", "X11"}
+
+    def test_rule1_parent_inverts_rule1(self, binary3):
+        for pattern in binary3.all_patterns():
+            for child in binary3.rule1_children(pattern):
+                assert binary3.rule1_parent(child) == pattern
+
+    def test_rule1_generates_each_node_once(self, binary3):
+        # Theorem 3: every non-root node is generated exactly once.
+        generated = []
+        for pattern in binary3.all_patterns():
+            generated.extend(binary3.rule1_children(pattern))
+        assert len(generated) == len(set(generated)) == 26  # all but the root
+
+    def test_rule2_parents_paper_example(self):
+        # §III-D: X01 generates XX1; 000 generates 00X, 0X0, X00.
+        space = PatternSpace([2, 2, 2])
+        assert set(map(str, space.rule2_parents(Pattern.from_string("X01")))) == {"XX1"}
+        assert set(map(str, space.rule2_parents(Pattern.from_string("000")))) == {
+            "00X",
+            "0X0",
+            "X00",
+        }
+
+    def test_rule2_child_inverts_rule2(self, binary3):
+        for pattern in binary3.all_patterns():
+            for parent in binary3.rule2_parents(pattern):
+                assert space_child_matches(binary3, parent, pattern)
+
+    def test_rule2_generates_each_non_leaf_once(self, binary3):
+        generated = []
+        for pattern in binary3.all_patterns():
+            generated.extend(binary3.rule2_parents(pattern))
+        # All 27 - 8 = 19 non-leaf nodes are generated exactly once.
+        assert len(generated) == len(set(generated)) == 19
+
+    def test_sibling_family_partitions(self, binary3):
+        family = binary3.sibling_family(Pattern.from_string("1XX"), 2)
+        assert set(map(str, family)) == {"1X0", "1X1"}
+
+    def test_sibling_family_requires_x(self, binary3):
+        with pytest.raises(PatternError):
+            binary3.sibling_family(Pattern.from_string("1X0"), 2)
+
+
+def space_child_matches(space, parent, child):
+    return space.rule2_child(parent) == child
+
+
+class TestDescendants:
+    def test_appendix_c_example(self, example2_space):
+        # Appendix C: subset patterns of P1 = XX01X at level 3.
+        expanded = set(
+            map(str, example2_space.descendants_at_level(Pattern.from_string("XX01X"), 3))
+        )
+        assert expanded == {
+            "0X01X",
+            "1X01X",
+            "X001X",
+            "X101X",
+            "X201X",
+            "XX010",
+            "XX011",
+        }
+
+    def test_descendants_at_own_level_is_self(self, example2_space):
+        pattern = Pattern.from_string("XX01X")
+        assert list(example2_space.descendants_at_level(pattern, 2)) == [pattern]
+
+    def test_descendants_below_level_raises(self, example2_space):
+        with pytest.raises(PatternError):
+            list(example2_space.descendants_at_level(Pattern.from_string("XX01X"), 1))
+
+    def test_descendants_count_binary(self, binary3):
+        # From the root, level-l descendants = level width.
+        for level in range(4):
+            descendants = list(binary3.descendants_at_level(binary3.root(), level))
+            assert len(descendants) == binary3.level_width(level)
+            assert len(set(descendants)) == len(descendants)
+
+    def test_combinations_matching(self, binary3):
+        combos = set(binary3.combinations_matching(Pattern.from_string("1XX")))
+        assert combos == {(1, a, b) for a in (0, 1) for b in (0, 1)}
+
+    def test_random_pattern_respects_level(self, binary3):
+        rng = np.random.default_rng(0)
+        for level in range(4):
+            pattern = binary3.random_pattern(rng, level)
+            assert pattern.level == level
+            binary3.validate(pattern)
+
+    def test_random_pattern_rejects_bad_level(self, binary3):
+        rng = np.random.default_rng(0)
+        with pytest.raises(PatternError):
+            binary3.random_pattern(rng, 9)

@@ -1,0 +1,86 @@
+"""Tests for coverage-preserving subsampling, including its core invariant."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.mups import deepdiver
+from repro.data.dataset import Dataset, Schema
+from repro.data.sampling import coverage_preserving_sample, sample_size_required
+from repro.data.synthetic import random_categorical_dataset
+from repro.exceptions import DataError
+
+
+class TestBasics:
+    def test_quota_caps_duplicates(self):
+        rows = [[0, 0]] * 10 + [[1, 1]] * 2
+        dataset = Dataset.from_rows(rows, cardinalities=[2, 2])
+        sample = coverage_preserving_sample(dataset, threshold=3)
+        assert sample.n == 5  # 3 + 2
+        counts = {tuple(r): 0 for r in sample.rows}
+        for row in sample.rows:
+            counts[tuple(row)] += 1
+        assert counts[(0, 0)] == 3
+        assert counts[(1, 1)] == 2
+
+    def test_sample_size_required(self):
+        rows = [[0, 0]] * 10 + [[1, 1]] * 2
+        dataset = Dataset.from_rows(rows, cardinalities=[2, 2])
+        assert sample_size_required(dataset, 3) == 5
+        assert sample_size_required(dataset, 100) == 12
+
+    def test_budget_enforced(self):
+        rows = [[0, 0]] * 10 + [[1, 1]] * 10
+        dataset = Dataset.from_rows(rows, cardinalities=[2, 2])
+        with pytest.raises(DataError):
+            coverage_preserving_sample(dataset, threshold=5, max_size=7)
+
+    def test_threshold_validated(self):
+        dataset = Dataset.from_rows([[0]], cardinalities=[2])
+        with pytest.raises(DataError):
+            coverage_preserving_sample(dataset, threshold=0)
+        with pytest.raises(DataError):
+            sample_size_required(dataset, 0)
+
+    def test_empty_dataset(self):
+        dataset = Dataset(Schema.binary(2), np.zeros((0, 2), dtype=np.int32))
+        assert coverage_preserving_sample(dataset, threshold=2).n == 0
+
+    def test_labels_follow(self):
+        dataset = Dataset(
+            Schema.binary(1),
+            np.array([[0], [0], [0], [1]], dtype=np.int32),
+            labels={"y": np.array([1, 2, 3, 4])},
+        )
+        sample = coverage_preserving_sample(dataset, threshold=2, seed=1)
+        assert sample.n == 3
+        # Every kept label value corresponds to its kept row.
+        for row, label in zip(sample.rows, sample.label("y")):
+            assert (row[0] == 1) == (label == 4)
+
+    def test_deterministic_given_seed(self):
+        dataset = random_categorical_dataset(200, (2, 3), seed=5, skew=0.5)
+        a = coverage_preserving_sample(dataset, threshold=2, seed=9)
+        b = coverage_preserving_sample(dataset, threshold=2, seed=9)
+        assert np.array_equal(a.rows, b.rows)
+
+
+class TestMupInvariant:
+    def test_mup_set_preserved_on_skewed_data(self):
+        dataset = random_categorical_dataset(500, (2, 3, 2), seed=6, skew=1.0)
+        tau = 8
+        before = deepdiver(dataset, tau).as_set()
+        sample = coverage_preserving_sample(dataset, threshold=tau, seed=2)
+        after = deepdiver(sample, tau).as_set()
+        assert before == after
+        assert sample.n <= dataset.n
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_mup_set_preserved_property(self, seed, tau):
+        dataset = random_categorical_dataset(60, (2, 2, 3), seed=seed, skew=0.8)
+        before = deepdiver(dataset, tau).as_set()
+        sample = coverage_preserving_sample(dataset, threshold=tau, seed=seed)
+        after = deepdiver(sample, tau).as_set()
+        assert before == after

@@ -1,0 +1,86 @@
+"""Unit tests for internal helpers and the exception hierarchy."""
+
+import pytest
+
+from repro._util import (
+    SearchStats,
+    Stopwatch,
+    check_positive,
+    chunked,
+    format_table,
+    product_int,
+)
+from repro.exceptions import (
+    DataError,
+    EnhancementError,
+    PatternError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+
+
+class TestProductInt:
+    def test_empty_is_one(self):
+        assert product_int([]) == 1
+
+    def test_product(self):
+        assert product_int([2, 3, 4]) == 24
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestStatsAndStopwatch:
+    def test_stopwatch_monotonic(self):
+        watch = Stopwatch()
+        assert watch.elapsed() >= 0.0
+
+    def test_stats_as_dict(self):
+        stats = SearchStats(nodes_generated=3, seconds=1.5)
+        as_dict = stats.as_dict()
+        assert as_dict["nodes_generated"] == 3
+        assert as_dict["seconds"] == 1.5
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [SchemaError, DataError, PatternError, ValidationError, EnhancementError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")

@@ -1,0 +1,124 @@
+"""Unit tests for validation rules and the validation oracle (Defs. 10–11)."""
+
+import pytest
+
+from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
+from repro.core.pattern import Pattern
+from repro.data.dataset import Schema
+from repro.exceptions import ValidationError
+
+
+class TestValidationRule:
+    def test_satisfied_by_pattern(self):
+        rule = ValidationRule({0: [1], 2: [0, 1]})
+        assert rule.satisfied_by(Pattern.from_string("1X0"))
+        assert not rule.satisfied_by(Pattern.from_string("0X0"))
+
+    def test_x_never_satisfies_a_clause(self):
+        rule = ValidationRule({0: [1]})
+        assert not rule.satisfied_by(Pattern.from_string("XX"))
+
+    def test_satisfied_by_values(self):
+        rule = ValidationRule({0: [1], 1: [2]})
+        assert rule.satisfied_by_values([1, 2, 5])
+        assert not rule.satisfied_by_values([1, 1, 5])
+
+    def test_prefix_semantics(self):
+        rule = ValidationRule({0: [1], 1: [0]})
+        assert not rule.satisfied_by_prefix([1])  # clause on A2 unseen yet
+        assert rule.satisfied_by_prefix([1, 0])
+        assert not rule.satisfied_by_prefix([1, 1])
+
+    def test_single_int_value_accepted(self):
+        rule = ValidationRule({0: 1})
+        assert rule.satisfied_by_values([1])
+
+    def test_rejects_empty_rule(self):
+        with pytest.raises(ValidationError):
+            ValidationRule({})
+
+    def test_rejects_empty_value_set(self):
+        with pytest.raises(ValidationError):
+            ValidationRule({0: []})
+
+    def test_rejects_duplicate_attribute(self):
+        with pytest.raises(ValidationError):
+            ValidationRule([(0, [1]), (0, [0])])
+
+    def test_rejects_negative_attribute(self):
+        with pytest.raises(ValidationError):
+            ValidationRule({-1: [0]})
+
+    def test_repr_mentions_clauses(self):
+        assert "A0" in repr(ValidationRule({0: [1]}))
+
+
+class TestValidationOracle:
+    def test_permissive_oracle_accepts_everything(self):
+        oracle = ValidationOracle.permissive()
+        assert oracle.is_valid(Pattern.from_string("111"))
+        assert oracle.is_valid_values([0, 1, 2])
+        assert not oracle.invalidates_prefix([0, 1])
+
+    def test_paper_example_male_pregnant(self):
+        # {gender=Male, isPregnant=True} is semantically incorrect.
+        oracle = ValidationOracle([ValidationRule({0: [0], 1: [1]})])
+        assert not oracle.is_valid_values([0, 1])
+        assert oracle.is_valid_values([0, 0])
+        assert oracle.is_valid_values([1, 1])
+
+    def test_prefix_invalidation(self):
+        oracle = ValidationOracle([ValidationRule({0: [0], 1: [1]})])
+        assert not oracle.invalidates_prefix([0])
+        assert oracle.invalidates_prefix([0, 1])
+        assert not oracle.invalidates_prefix([1, 1])
+
+    def test_multiple_rules_any_blocks(self):
+        oracle = ValidationOracle(
+            [ValidationRule({0: [0]}), ValidationRule({1: [2]})]
+        )
+        assert not oracle.is_valid_values([0, 0])
+        assert not oracle.is_valid_values([1, 2])
+        assert oracle.is_valid_values([1, 0])
+
+    def test_add_rule_and_len(self):
+        oracle = ValidationOracle.permissive()
+        assert len(oracle) == 0
+        oracle.add_rule(ValidationRule({0: [1]}))
+        assert len(oracle) == 1
+
+    def test_query_counter(self):
+        oracle = ValidationOracle.permissive()
+        oracle.is_valid_values([0])
+        oracle.invalidates_prefix([0])
+        assert oracle.queries == 2
+
+
+class TestFromNamedRules:
+    SCHEMA = Schema.of(
+        ["age", "marital_status"],
+        [2, 3],
+        [["young", "old"], ["single", "married", "unknown"]],
+    )
+
+    def test_named_rules_resolve_labels(self):
+        oracle = ValidationOracle.from_named_rules(
+            self.SCHEMA, [{"marital_status": ["unknown"]}]
+        )
+        assert not oracle.is_valid_values([0, 2])
+        assert oracle.is_valid_values([0, 1])
+
+    def test_named_rules_accept_integer_codes(self):
+        oracle = ValidationOracle.from_named_rules(self.SCHEMA, [{"age": [1]}])
+        assert not oracle.is_valid_values([1, 0])
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationOracle.from_named_rules(
+                self.SCHEMA, [{"marital_status": ["divorced"]}]
+            )
+
+    def test_unlabelled_schema_requires_ints(self):
+        schema = Schema.binary(2)
+        with pytest.raises(ValidationError):
+            ValidationOracle.from_named_rules(schema, [{"A1": ["yes"]}])
