@@ -25,6 +25,13 @@ Quickstart::
 
 from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
+from repro.core.engine import (
+    ENGINES,
+    CoverageEngine,
+    DenseBoolEngine,
+    PackedBitsetEngine,
+    resolve_engine,
+)
 from repro.core.coverage import CoverageOracle, coverage_scan, max_covered_level
 from repro.core.dominance import MupDominanceIndex
 from repro.core.mups import (
@@ -56,6 +63,11 @@ __all__ = [
     "Pattern",
     "X",
     "PatternSpace",
+    "CoverageEngine",
+    "DenseBoolEngine",
+    "PackedBitsetEngine",
+    "ENGINES",
+    "resolve_engine",
     "CoverageOracle",
     "coverage_scan",
     "max_covered_level",

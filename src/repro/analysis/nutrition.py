@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.engine import EngineSpec
 from repro.core.mups.base import MupResult, find_mups
 from repro.core.pattern import Pattern
 from repro.data.dataset import Dataset
@@ -68,6 +69,7 @@ def coverage_label(
     headline_limit: int = 5,
     max_level: Optional[int] = None,
     result: Optional[MupResult] = None,
+    engine: EngineSpec = None,
 ) -> CoverageLabel:
     """Compute the coverage widget for ``dataset``.
 
@@ -78,10 +80,15 @@ def coverage_label(
         headline_limit: how many of the most general MUPs to feature.
         max_level: optionally restrict the search depth (large schemas).
         result: reuse an existing MUP identification result.
+        engine: coverage-engine backend for the identification run.
     """
     if result is None:
         result = find_mups(
-            dataset, threshold=threshold, algorithm=algorithm, max_level=max_level
+            dataset,
+            threshold=threshold,
+            algorithm=algorithm,
+            max_level=max_level,
+            engine=engine,
         )
     ranked: List[Pattern] = sorted(result.mups, key=lambda p: (p.level, p.values))
     headlines = tuple(

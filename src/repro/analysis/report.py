@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro._util import format_table
 from repro.core.coverage import CoverageOracle
+from repro.core.engine import EngineSpec
 from repro.core.enhancement.greedy import EnhancementResult
 from repro.core.mups.base import MupResult
 from repro.data.dataset import Dataset
@@ -22,23 +23,25 @@ def mup_report(
     result: MupResult,
     limit: Optional[int] = None,
     oracle: Optional[CoverageOracle] = None,
+    engine: EngineSpec = None,
 ) -> str:
     """Tabulate a MUP identification result.
 
     Columns: the compact pattern, its level, its actual coverage, and the
     human-readable description.
     """
-    oracle = oracle or CoverageOracle(dataset)
+    oracle = oracle or CoverageOracle(dataset, engine=engine)
     ranked = sorted(result.mups, key=lambda p: (p.level, p.values))
     if limit is not None:
         ranked = ranked[:limit]
+    coverages = oracle.coverage_many(ranked)
     rows = []
-    for pattern in ranked:
+    for pattern, coverage in zip(ranked, coverages):
         rows.append(
             (
                 str(pattern),
                 pattern.level,
-                oracle.coverage(pattern),
+                int(coverage),
                 pattern.describe(dataset.schema),
             )
         )

@@ -20,6 +20,8 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.nutrition import coverage_label
 from repro.analysis.report import enhancement_report, mup_report
+from repro.core.coverage import CoverageOracle
+from repro.core.engine import DEFAULT_ENGINE, ENGINES
 from repro.core.enhancement.greedy import greedy_cover
 from repro.core.enhancement.expansion import uncovered_at_level
 from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
@@ -61,17 +63,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-level", type=int, default=None, help="level cap for the search"
     )
+    parser.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=sorted(ENGINES),
+        help="coverage-engine backend: 'dense' uses unpacked boolean "
+        "vectors (reference), 'packed' uses uint64 bitsets with word-level "
+        "popcount (8x smaller index)",
+    )
 
 
 def _cmd_identify(args: argparse.Namespace) -> int:
     dataset = _load_csv(args.csv, args.attributes)
+    # One oracle serves both the search and the report, so the inverted
+    # index is built once.
+    oracle = CoverageOracle(dataset, engine=args.engine)
     result = find_mups(
         dataset,
         threshold=args.threshold,
         algorithm=args.algorithm,
         max_level=args.max_level,
+        oracle=oracle,
     )
-    print(mup_report(dataset, result, limit=args.limit))
+    print(mup_report(dataset, result, limit=args.limit, oracle=oracle))
     return 0
 
 
@@ -82,6 +96,7 @@ def _cmd_label(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         algorithm=args.algorithm,
         max_level=args.max_level,
+        engine=args.engine,
     )
     print(label.render())
     return 0
@@ -116,21 +131,28 @@ def _cmd_enhance(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         algorithm=args.algorithm,
         max_level=args.max_level,
+        engine=args.engine,
     )
     space = PatternSpace.for_dataset(dataset)
     targets = uncovered_at_level(result.mups, space, args.level)
     validation = _parse_rules(dataset, args.rule or [])
-    plan = greedy_cover(targets, space, validation)
+    plan = greedy_cover(targets, space, validation, engine=args.engine)
     print(enhancement_report(dataset, plan))
     return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = load_compas()
-    result = find_mups(dataset, threshold=args.threshold, algorithm="deepdiver")
+    oracle = CoverageOracle(dataset, engine=args.engine)
+    result = find_mups(
+        dataset,
+        threshold=args.threshold,
+        algorithm="deepdiver",
+        oracle=oracle,
+    )
     print(dataset.describe())
     print()
-    print(mup_report(dataset, result, limit=args.limit))
+    print(mup_report(dataset, result, limit=args.limit, oracle=oracle))
     return 0
 
 
@@ -167,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="COMPAS walk-through on bundled data")
     demo.add_argument("--threshold", type=int, default=10)
     demo.add_argument("--limit", type=int, default=20)
+    demo.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=sorted(ENGINES),
+        help="coverage-engine backend",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     return parser

@@ -1,9 +1,17 @@
 """Core contribution of the paper: pattern algebra, the pattern graph,
-coverage computation, MUP identification, and coverage enhancement.
+coverage computation (over pluggable engines), MUP identification, and
+coverage enhancement.
 """
 
 from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
+from repro.core.engine import (
+    ENGINES,
+    CoverageEngine,
+    DenseBoolEngine,
+    PackedBitsetEngine,
+    resolve_engine,
+)
 from repro.core.coverage import CoverageOracle, coverage_scan
 from repro.core.dominance import MupDominanceIndex
 
@@ -11,6 +19,11 @@ __all__ = [
     "Pattern",
     "X",
     "PatternSpace",
+    "CoverageEngine",
+    "DenseBoolEngine",
+    "PackedBitsetEngine",
+    "ENGINES",
+    "resolve_engine",
     "CoverageOracle",
     "coverage_scan",
     "MupDominanceIndex",

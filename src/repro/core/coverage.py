@@ -1,12 +1,16 @@
 """Coverage computation with inverted indices (Definition 2, Appendix A).
 
 The oracle aggregates the dataset to its unique value combinations with
-multiplicities, keeps one boolean membership vector per attribute value over
-those unique combinations, and answers ``cov(P)`` as the AND of the
-deterministic elements' vectors dotted with the count vector — exactly the
-Appendix A design.  Traversal algorithms can additionally thread a parent's
-match mask down so a child's coverage costs a single vectorized AND
-(``restrict_mask``).
+multiplicities, keeps one membership vector per attribute value over those
+unique combinations, and answers ``cov(P)`` as the AND of the deterministic
+elements' vectors weighted by the count vector — exactly the Appendix A
+design.  The vector representation is pluggable: the oracle delegates every
+mask operation to a :class:`~repro.core.engine.CoverageEngine` backend
+(``dense`` boolean ndarrays or ``packed`` uint64 bitsets), so traversal
+algorithms run unmodified on either.  Masks are engine-specific opaque
+handles; thread a parent's match mask down so a child's coverage costs a
+single vectorized AND (``restrict_mask``), or answer a whole frontier with
+the batched ``coverage_of_masks`` / ``coverage_many`` queries.
 """
 
 from __future__ import annotations
@@ -16,35 +20,40 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.engine import CoverageEngine, EngineSpec, resolve_engine
+from repro.core.engine.base import Mask
 from repro.core.pattern import Pattern
 from repro.data.dataset import Dataset
 from repro.exceptions import PatternError
 
 
+def threshold_from_rate(rate: float, n: int) -> int:
+    """The paper's "threshold rate" as an absolute count: ``ceil(rate * n)``.
+
+    Floored at 1 so a rate of 0 still flags empty regions.
+    """
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative, got {rate}")
+    return max(1, int(math.ceil(rate * n)))
+
+
 class CoverageOracle:
     """Answers coverage queries for one dataset (Appendix A).
+
+    Args:
+        dataset: the dataset to index.
+        engine: coverage-engine selection — a registry name (``"dense"`` /
+            ``"packed"``), an engine class, or a prebuilt engine instance;
+            ``None`` picks the default backend.
 
     Attributes:
         evaluations: number of coverage queries answered; algorithms report
             this in their :class:`~repro._util.SearchStats`.
     """
 
-    def __init__(self, dataset: Dataset) -> None:
+    def __init__(self, dataset: Dataset, engine: EngineSpec = None) -> None:
         self._dataset = dataset
-        unique, counts = dataset.unique_rows()
-        self._unique = unique
-        self._counts = counts
-        # _index[i][v] is the boolean vector over unique rows with value v
-        # on attribute i (the inverted index of Appendix A).
-        self._index: List[np.ndarray] = []
-        for i, cardinality in enumerate(dataset.cardinalities):
-            if len(unique):
-                column = unique[:, i]
-                per_value = np.zeros((cardinality, len(unique)), dtype=bool)
-                per_value[column, np.arange(len(unique))] = True
-            else:
-                per_value = np.zeros((cardinality, 0), dtype=bool)
-            self._index.append(per_value)
+        self._engine = resolve_engine(engine, dataset)
         self.evaluations = 0
 
     # ------------------------------------------------------------------
@@ -55,6 +64,11 @@ class CoverageOracle:
         return self._dataset
 
     @property
+    def engine(self) -> CoverageEngine:
+        """The backend answering the mask queries."""
+        return self._engine
+
+    @property
     def total(self) -> int:
         """Coverage of the root pattern = number of tuples ``n``."""
         return self._dataset.n
@@ -62,55 +76,48 @@ class CoverageOracle:
     @property
     def unique_count(self) -> int:
         """Number of distinct value combinations present in the data."""
-        return len(self._unique)
+        return self._engine.unique_count
 
     def threshold_from_rate(self, rate: float) -> int:
         """Translate the paper's "threshold rate" into an absolute count.
 
-        The evaluation section sweeps rates like 0.01%; the absolute
-        threshold is ``ceil(rate * n)``, floored at 1 so a rate of 0 still
-        flags empty regions.
+        The evaluation section sweeps rates like 0.01%; see
+        :func:`threshold_from_rate`.
         """
-        if rate < 0:
-            raise ValueError(f"rate must be non-negative, got {rate}")
-        return max(1, int(math.ceil(rate * self._dataset.n)))
+        return threshold_from_rate(rate, self._dataset.n)
 
     # ------------------------------------------------------------------
     # mask plumbing (incremental evaluation for graph traversals)
     # ------------------------------------------------------------------
-    def full_mask(self) -> np.ndarray:
+    def full_mask(self) -> Mask:
         """Mask matching every unique combination (the root pattern)."""
-        return np.ones(len(self._unique), dtype=bool)
+        return self._engine.full_mask()
 
-    def value_mask(self, attribute: int, value: int) -> np.ndarray:
+    def value_mask(self, attribute: int, value: int) -> Mask:
         """Inverted-index vector for ``attribute == value`` (do not mutate)."""
-        return self._index[attribute][value]
+        return self._engine.value_mask(attribute, value)
 
-    def restrict_mask(self, mask: np.ndarray, attribute: int, value: int) -> np.ndarray:
+    def restrict_mask(self, mask: Mask, attribute: int, value: int) -> Mask:
         """``mask AND (attribute == value)`` — one child step down the graph."""
-        return np.logical_and(mask, self._index[attribute][value])
+        return self._engine.restrict(mask, attribute, value)
 
-    def match_mask(self, pattern: Pattern) -> np.ndarray:
-        """Boolean mask over unique combinations matching ``pattern``."""
-        if len(pattern) != self._dataset.d:
-            raise PatternError(
-                f"pattern of length {len(pattern)} against d={self._dataset.d}"
-            )
-        mask = self.full_mask()
-        for index in pattern.deterministic_indices():
-            value = pattern[index]
-            if not 0 <= value < self._dataset.cardinalities[index]:
-                raise PatternError(
-                    f"pattern {pattern} has out-of-range value {value} "
-                    f"at attribute {index}"
-                )
-            np.logical_and(mask, self._index[index][value], out=mask)
-        return mask
+    def restrict_children(self, mask: Mask, attribute: int) -> List[Mask]:
+        """The whole sibling family ``mask AND (attribute == v)``, batched."""
+        return self._engine.restrict_children(mask, attribute)
 
-    def coverage_of_mask(self, mask: np.ndarray) -> int:
+    def match_mask(self, pattern: Pattern) -> Mask:
+        """Mask over unique combinations matching ``pattern``."""
+        return self._engine.match_mask(pattern)
+
+    def coverage_of_mask(self, mask: Mask) -> int:
         """Total multiplicity of the unique combinations selected by ``mask``."""
         self.evaluations += 1
-        return int(self._counts[mask].sum())
+        return self._engine.count(mask)
+
+    def coverage_of_masks(self, masks: Sequence[Mask]) -> np.ndarray:
+        """Batched :meth:`coverage_of_mask` — one frontier, one pass."""
+        self.evaluations += len(masks)
+        return self._engine.count_many(masks)
 
     # ------------------------------------------------------------------
     # the oracle itself
@@ -119,13 +126,19 @@ class CoverageOracle:
         """Definition 2: number of tuples of ``D`` matching ``pattern``."""
         return self.coverage_of_mask(self.match_mask(pattern))
 
+    def coverage_many(self, patterns: Sequence[Pattern]) -> np.ndarray:
+        """Batched :meth:`coverage` — a whole pattern-graph level at once."""
+        self.evaluations += len(patterns)
+        return self._engine.coverage_many(patterns)
+
     def is_covered(self, pattern: Pattern, threshold: int) -> bool:
         """Definition 3: ``cov(P) >= τ``."""
         return self.coverage(pattern) >= threshold
 
     def matching_rows(self, pattern: Pattern) -> np.ndarray:
         """The unique value combinations matching ``pattern`` (one per kind)."""
-        return self._unique[self.match_mask(pattern)]
+        selected = self._engine.mask_to_bool(self._engine.match_mask(pattern))
+        return self._engine.unique_rows[selected]
 
 
 def coverage_scan(dataset: Dataset, pattern: Pattern) -> int:

@@ -1,0 +1,30 @@
+"""Pluggable coverage engines (Appendix A behind one interface).
+
+Importing this package registers both backends; select one by name
+(``"dense"`` / ``"packed"``) anywhere an ``engine=`` argument or the CLI
+``--engine`` flag is accepted.
+"""
+
+from repro.core.engine.base import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    CoverageEngine,
+    EngineSpec,
+    engine_name,
+    register_engine,
+    resolve_engine,
+)
+from repro.core.engine.dense import DenseBoolEngine
+from repro.core.engine.packed import PackedBitsetEngine
+
+__all__ = [
+    "CoverageEngine",
+    "DenseBoolEngine",
+    "PackedBitsetEngine",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "EngineSpec",
+    "engine_name",
+    "register_engine",
+    "resolve_engine",
+]

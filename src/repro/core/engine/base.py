@@ -1,0 +1,215 @@
+"""The pluggable coverage-engine abstraction.
+
+Appendix A reduces every coverage query to bitwise AND / population count
+over per-attribute-value membership vectors.  A :class:`CoverageEngine`
+owns those vectors for one dataset and answers three families of queries:
+
+* **point** — ``match_mask`` / ``coverage`` for a single pattern;
+* **incremental** — ``restrict`` one step down the pattern graph, reusing
+  a parent's match mask;
+* **batched** — ``count_many`` / ``coverage_many`` / ``restrict_children``
+  answer a whole pattern-graph frontier in one vectorized pass.
+
+Masks are engine-specific opaque handles: callers obtain them from the
+engine (``full_mask``, ``match_mask``, ``restrict``…), hand them back to
+the engine, and never inspect them directly (``mask_to_bool`` converts
+when row identities are needed).  Two backends are registered:
+
+* ``dense`` — :class:`~repro.core.engine.dense.DenseBoolEngine`, unpacked
+  boolean ndarrays (the reference/ablation baseline);
+* ``packed`` — :class:`~repro.core.engine.packed.PackedBitsetEngine`,
+  ``uint64``-packed :class:`~repro.data.bitset.BitVector` words with
+  word-level popcount (8× smaller index, word-at-a-time ANDs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Sequence, Type, Union
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.exceptions import PatternError, ReproError
+
+#: A mask is whatever the engine hands out; callers treat it as opaque.
+Mask = Any
+
+#: Registry of engine backends, keyed by their ``name``.
+ENGINES: Dict[str, Type["CoverageEngine"]] = {}
+
+#: Registry key used when no engine is specified.
+DEFAULT_ENGINE = "dense"
+
+
+def register_engine(cls: Type["CoverageEngine"]) -> Type["CoverageEngine"]:
+    """Class decorator registering an engine backend under ``cls.name``."""
+    ENGINES[cls.name] = cls
+    return cls
+
+
+class CoverageEngine(ABC):
+    """Answers coverage queries over one dataset's membership vectors.
+
+    Subclasses build their inverted index over the dataset's *unique* value
+    combinations (Appendix A aggregates duplicate tuples away) and choose
+    the mask representation; the shared logic here handles pattern
+    validation and the generic batched-coverage composition.
+    """
+
+    #: Registry key of the backend (set by subclasses).
+    name: str = ""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        unique, counts = dataset.unique_rows()
+        self._unique = unique
+        self._counts = counts
+
+    # ------------------------------------------------------------------
+    # shared accessors
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def total(self) -> int:
+        """Coverage of the root pattern = number of tuples ``n``."""
+        return self._dataset.n
+
+    @property
+    def unique_count(self) -> int:
+        """Number of distinct value combinations present in the data."""
+        return len(self._unique)
+
+    @property
+    def unique_rows(self) -> np.ndarray:
+        """The distinct value combinations the masks range over."""
+        return self._unique
+
+    def _check_pattern(self, pattern: Pattern) -> None:
+        if len(pattern) != self._dataset.d:
+            raise PatternError(
+                f"pattern of length {len(pattern)} against d={self._dataset.d}"
+            )
+        for index in pattern.deterministic_indices():
+            value = pattern[index]
+            if not 0 <= value < self._dataset.cardinalities[index]:
+                raise PatternError(
+                    f"pattern {pattern} has out-of-range value {value} "
+                    f"at attribute {index}"
+                )
+
+    # ------------------------------------------------------------------
+    # abstract mask kernel
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def index_nbytes(self) -> int:
+        """Bytes held by the inverted index (for memory accounting)."""
+
+    @abstractmethod
+    def full_mask(self) -> Mask:
+        """Mask matching every unique combination (the root pattern)."""
+
+    @abstractmethod
+    def value_mask(self, attribute: int, value: int) -> Mask:
+        """Inverted-index vector for ``attribute == value`` (do not mutate)."""
+
+    @abstractmethod
+    def restrict(self, mask: Mask, attribute: int, value: int) -> Mask:
+        """``mask AND (attribute == value)`` — one child step down the graph."""
+
+    @abstractmethod
+    def restrict_children(self, mask: Mask, attribute: int) -> List[Mask]:
+        """All of ``mask AND (attribute == v)`` in one vectorized pass.
+
+        Returns one child mask per value of ``attribute``, in value order —
+        the sibling family a traversal expands when it specializes one
+        ``X`` element.
+        """
+
+    @abstractmethod
+    def count(self, mask: Mask) -> int:
+        """Total multiplicity of the combinations selected by ``mask``."""
+
+    @abstractmethod
+    def count_many(self, masks: Sequence[Mask]) -> np.ndarray:
+        """Coverage of a whole frontier of masks in one vectorized pass."""
+
+    @abstractmethod
+    def mask_to_bool(self, mask: Mask) -> np.ndarray:
+        """The mask as a boolean array over the unique combinations."""
+
+    # ------------------------------------------------------------------
+    # pattern-level queries (shared composition)
+    # ------------------------------------------------------------------
+    def match_mask(self, pattern: Pattern) -> Mask:
+        """Mask over unique combinations matching ``pattern``."""
+        self._check_pattern(pattern)
+        mask = self.full_mask()
+        for index in pattern.deterministic_indices():
+            mask = self.restrict(mask, index, pattern[index])
+        return mask
+
+    def coverage(self, pattern: Pattern) -> int:
+        """Definition 2: number of tuples matching ``pattern``."""
+        return self.count(self.match_mask(pattern))
+
+    def coverage_many(self, patterns: Sequence[Pattern]) -> np.ndarray:
+        """Coverage of many patterns, counted in one batched pass."""
+        if not patterns:
+            return np.zeros(0, dtype=np.int64)
+        return self.count_many([self.match_mask(p) for p in patterns])
+
+
+#: Anything that names an engine: a registry key, a class, an instance, or
+#: ``None`` for the default.  Defined after the class so the alias holds the
+#: real type (annotations referencing it resolve in any importing module).
+EngineSpec = Union[None, str, Type[CoverageEngine], CoverageEngine]
+
+
+def resolve_engine(spec: EngineSpec, dataset: Dataset) -> CoverageEngine:
+    """Build (or pass through) the engine selected by ``spec``.
+
+    Accepts a registry name (``"dense"``/``"packed"``), an engine class, an
+    already-built instance (returned as-is), or ``None`` for the default.
+    """
+    if spec is None:
+        spec = DEFAULT_ENGINE
+    if isinstance(spec, CoverageEngine):
+        if spec.dataset is not dataset:
+            raise ReproError(
+                f"engine was built for a different dataset "
+                f"({spec.dataset!r} vs {dataset!r}); pass the engine class "
+                f"or name to rebuild it"
+            )
+        return spec
+    if isinstance(spec, str):
+        if spec not in ENGINES:
+            raise ReproError(
+                f"unknown coverage engine {spec!r}; available: {sorted(ENGINES)}"
+            )
+        return ENGINES[spec](dataset)
+    if isinstance(spec, type) and issubclass(spec, CoverageEngine):
+        return spec(dataset)
+    raise ReproError(f"cannot interpret {spec!r} as a coverage engine")
+
+
+def engine_name(spec: EngineSpec) -> str:
+    """Canonical registry name of an engine spec (for non-dataset reuse)."""
+    if spec is None:
+        return DEFAULT_ENGINE
+    if isinstance(spec, str):
+        if spec not in ENGINES:
+            raise ReproError(
+                f"unknown coverage engine {spec!r}; available: {sorted(ENGINES)}"
+            )
+        return spec
+    if isinstance(spec, CoverageEngine):
+        return type(spec).name
+    if isinstance(spec, type) and issubclass(spec, CoverageEngine):
+        return spec.name
+    raise ReproError(f"cannot interpret {spec!r} as a coverage engine")

@@ -1,0 +1,122 @@
+"""Packed-bitset coverage engine (Appendix A on ``uint64`` words).
+
+One :class:`~repro.data.bitset.BitVector` per attribute value over the
+unique value combinations; masks are ``BitVector`` handles.  An AND moves
+one word per 64 combinations (8× less traffic than the dense baseline) and
+coverage is a word-level popcount — weighted by the multiplicity vector
+when the dataset has duplicate rows, a pure ``popcount`` when it does not.
+
+Batched queries operate on the stacked ``(cardinality, words)`` matrices
+directly, so a whole sibling family or frontier level is answered by one
+``bitwise_and`` broadcast plus one counting pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.engine.base import CoverageEngine, register_engine
+from repro.data.bitset import BitVector, popcount_words
+from repro.data.dataset import Dataset
+
+_WORD_BITS = 64
+
+
+@register_engine
+class PackedBitsetEngine(CoverageEngine):
+    """Coverage queries over packed ``uint64`` membership vectors."""
+
+    name = "packed"
+
+    def __init__(self, dataset: Dataset) -> None:
+        super().__init__(dataset)
+        unique = self._unique
+        u = len(unique)
+        # _vectors[i][v] is the BitVector over unique rows with value v on
+        # attribute i; _words[i] stacks the same bits as a (c_i, W) matrix
+        # for the batched kernels.
+        self._vectors: List[List[BitVector]] = []
+        self._words: List[np.ndarray] = []
+        for i, cardinality in enumerate(dataset.cardinalities):
+            column = unique[:, i] if u else np.zeros(0, dtype=np.int32)
+            words = np.stack(
+                [
+                    BitVector.from_bool_array(column == value).words
+                    for value in range(cardinality)
+                ]
+            )
+            # The stacked matrix is the only copy of the index; the
+            # BitVector handles wrap its rows without copying.
+            self._words.append(words)
+            self._vectors.append(
+                [BitVector.from_words(u, words[value]) for value in range(cardinality)]
+            )
+        word_count = self._words[0].shape[1] if self._words else 0
+        # Multiplicities padded to the word boundary; padding bits of any
+        # mask are zero, so a plain dot gives the weighted count.
+        self._counts_padded = np.zeros(word_count * _WORD_BITS, dtype=np.int64)
+        self._counts_padded[:u] = self._counts
+        # With no duplicate rows every weight is 1 and coverage is a pure
+        # popcount — the fast path production data with unique keys hits.
+        self._uniform = bool(u == 0 or self._counts.max(initial=1) == 1)
+
+    # ------------------------------------------------------------------
+    # counting kernels
+    # ------------------------------------------------------------------
+    def _count_word_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Weighted count of each row of a ``(k, W)`` word matrix."""
+        if self._uniform:
+            return popcount_words(matrix).sum(axis=1, dtype=np.int64)
+        if matrix.shape[1] == 0:
+            return np.zeros(matrix.shape[0], dtype=np.int64)
+        bits = np.unpackbits(matrix.view(np.uint8), axis=1, bitorder="little")
+        return bits @ self._counts_padded
+
+    # ------------------------------------------------------------------
+    # mask kernel
+    # ------------------------------------------------------------------
+    @property
+    def index_nbytes(self) -> int:
+        return sum(words.nbytes for words in self._words)
+
+    def full_mask(self) -> BitVector:
+        return BitVector(self.unique_count, fill=True)
+
+    def value_mask(self, attribute: int, value: int) -> BitVector:
+        return self._vectors[attribute][value]
+
+    def restrict(self, mask: BitVector, attribute: int, value: int) -> BitVector:
+        return mask & self._vectors[attribute][value]
+
+    def restrict_children(self, mask: BitVector, attribute: int) -> List[BitVector]:
+        family = np.bitwise_and(mask.words[np.newaxis, :], self._words[attribute])
+        u = self.unique_count
+        return [BitVector.from_words(u, row) for row in family]
+
+    def count(self, mask: BitVector) -> int:
+        if self._uniform:
+            return mask.count()
+        words = mask.words
+        if words.size == 0:
+            return 0
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return int(bits @ self._counts_padded)
+
+    def count_many(self, masks: Sequence[BitVector]) -> np.ndarray:
+        if not len(masks):
+            return np.zeros(0, dtype=np.int64)
+        matrix = np.stack([mask.words for mask in masks])
+        return self._count_word_matrix(matrix)
+
+    def mask_to_bool(self, mask: BitVector) -> np.ndarray:
+        return mask.to_bool_array()
+
+    def match_mask(self, pattern) -> BitVector:
+        # Override the generic chain to AND in place over one buffer.
+        self._check_pattern(pattern)
+        mask = self.full_mask()
+        for index in pattern.deterministic_indices():
+            mask.iand(self._vectors[index][pattern[index]])
+        return mask

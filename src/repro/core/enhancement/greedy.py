@@ -19,10 +19,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._util import Stopwatch
+from repro.core.engine import EngineSpec, engine_name
 from repro.core.enhancement.expansion import uncovered_at_level
 from repro.core.enhancement.oracle import ValidationOracle
 from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
+from repro.data.bitset import BitVector
 from repro.data.dataset import Dataset
 from repro.exceptions import EnhancementError
 
@@ -81,26 +83,69 @@ class EnhancementResult:
 
 
 class _TargetIndex:
-    """Inverted indices from attribute values to target patterns (§IV-B)."""
+    """Inverted indices from attribute values to target patterns (§IV-B).
 
-    def __init__(self, targets: Sequence[Pattern], space: PatternSpace) -> None:
+    The per-value membership vectors live in the representation of the
+    selected coverage engine: unpacked ``bool`` ndarrays (``dense``) or
+    packed :class:`~repro.data.bitset.BitVector` words with word-level
+    popcount (``packed``).  The Algorithm-4 tree search only touches the
+    masks through :meth:`search_mask` / :meth:`restrict` / :meth:`count`,
+    so it runs unmodified on either backend.
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[Pattern],
+        space: PatternSpace,
+        engine: EngineSpec = None,
+    ) -> None:
         self.targets = list(targets)
         self.space = space
+        self._packed = engine_name(engine) == "packed"
         m = len(self.targets)
         # vectors[i][v][j] == True iff target j can still be hit after
         # fixing attribute i to value v (its element is v or X).
-        self.vectors: List[List[np.ndarray]] = []
+        self.vectors: List[List] = []
         for i, cardinality in enumerate(space.cardinalities):
             per_value = []
             elements = np.array([t[i] for t in self.targets], dtype=np.int64)
             is_x = elements == X
             for value in range(cardinality):
-                per_value.append(np.logical_or(is_x, elements == value))
+                flags = np.logical_or(is_x, elements == value)
+                per_value.append(
+                    BitVector.from_bool_array(flags) if self._packed else flags
+                )
             self.vectors.append(per_value)
         self.m = m
 
+    # ------------------------------------------------------------------
+    # mask kernel for the Algorithm-4 search
+    # ------------------------------------------------------------------
+    def search_mask(self, remaining: np.ndarray):
+        """The un-hit-targets filter as a search mask (engine-specific)."""
+        if self._packed:
+            return BitVector.from_bool_array(remaining)
+        return remaining
+
+    def restrict(self, mask, attribute: int, value: int):
+        """``mask AND (targets still hittable with attribute == value)``."""
+        if self._packed:
+            return mask & self.vectors[attribute][value]
+        return np.logical_and(mask, self.vectors[attribute][value])
+
+    def count(self, mask) -> int:
+        """Number of targets selected by ``mask``."""
+        if self._packed:
+            return mask.count()
+        return int(mask.sum())
+
     def hits_of(self, combination: Sequence[int]) -> np.ndarray:
         """Boolean vector of targets hit by a full combination."""
+        if self._packed:
+            mask = BitVector(self.m, fill=True)
+            for i, value in enumerate(combination):
+                mask.iand(self.vectors[i][value])
+            return mask.to_bool_array()
         mask = np.ones(self.m, dtype=bool)
         for i, value in enumerate(combination):
             np.logical_and(mask, self.vectors[i][value], out=mask)
@@ -109,7 +154,7 @@ class _TargetIndex:
 
 def _hit_count_search(
     index: _TargetIndex,
-    filter_mask: np.ndarray,
+    filter_mask,
     validation: ValidationOracle,
     counters: Dict[str, int],
 ) -> Tuple[int, Optional[Tuple[int, ...]]]:
@@ -123,7 +168,7 @@ def _hit_count_search(
     best_count = 0
     best_combo: Optional[Tuple[int, ...]] = None
 
-    def recurse(level: int, mask: np.ndarray, prefix: List[int]) -> None:
+    def recurse(level: int, mask, prefix: List[int]) -> None:
         nonlocal best_count, best_combo
         counters["nodes"] += 1
         candidates = []
@@ -133,8 +178,8 @@ def _hit_count_search(
             prefix.pop()
             if invalid:
                 continue
-            child_mask = np.logical_and(mask, index.vectors[level][value])
-            count = int(child_mask.sum())
+            child_mask = index.restrict(mask, level, value)
+            count = index.count(child_mask)
             candidates.append((count, value, child_mask))
         if level == d - 1:
             for count, value, _child in candidates:
@@ -160,6 +205,7 @@ def greedy_cover(
     targets: Sequence[Pattern],
     space: PatternSpace,
     validation: Optional[ValidationOracle] = None,
+    engine: EngineSpec = None,
 ) -> EnhancementResult:
     """Algorithm 5: greedy hitting set over the given target patterns.
 
@@ -169,6 +215,8 @@ def greedy_cover(
         space: the pattern space.
         validation: the human-configured validation oracle; defaults to
             permissive.
+        engine: mask representation for the target index (``"dense"`` /
+            ``"packed"``).
 
     Returns:
         An :class:`EnhancementResult`; targets that no *valid* combination
@@ -178,7 +226,7 @@ def greedy_cover(
     watch = Stopwatch()
     for target in targets:
         space.validate(target)
-    index = _TargetIndex(targets, space)
+    index = _TargetIndex(targets, space, engine=engine)
     remaining = np.ones(index.m, dtype=bool)
     combos: List[Tuple[int, ...]] = []
     generalized: List[Pattern] = []
@@ -188,7 +236,7 @@ def greedy_cover(
     while remaining.any():
         iterations += 1
         best_count, best_combo = _hit_count_search(
-            index, remaining, validation, counters
+            index, index.search_mask(remaining), validation, counters
         )
         if best_combo is None or best_count == 0:
             break
@@ -224,6 +272,7 @@ def enhance_coverage(
     threshold: int,
     validation: Optional[ValidationOracle] = None,
     copies: Optional[int] = None,
+    engine: EngineSpec = None,
 ) -> Tuple[EnhancementResult, Dataset]:
     """End-to-end Problem 2: plan the acquisition and apply it.
 
@@ -236,13 +285,14 @@ def enhance_coverage(
         validation: optional validation oracle.
         copies: how many tuples to collect per planned combination; defaults
             to ``threshold`` (enough to cover any previously empty target).
+        engine: mask representation for the greedy target index.
 
     Returns:
         ``(result, enhanced dataset)``.
     """
     space = PatternSpace.for_dataset(dataset)
     targets = uncovered_at_level(mups, space, level)
-    result = greedy_cover(targets, space, validation)
+    result = greedy_cover(targets, space, validation, engine=engine)
     copies = threshold if copies is None else copies
     if copies < 1:
         raise EnhancementError(f"copies must be >= 1, got {copies}")

@@ -27,11 +27,24 @@ from typing import Iterable, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.coverage import CoverageOracle
+from repro.core.engine import CoverageEngine, EngineSpec
 from repro.core.mups.base import MupResult, find_mups
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternSpace
 from repro.data.dataset import Dataset
 from repro.exceptions import DataError, ReproError
+
+
+def _engine_template(engine: EngineSpec) -> EngineSpec:
+    """An engine spec reusable across rebuilt datasets.
+
+    The index rebuilds its oracle after every delivery/removal, so a
+    prebuilt engine instance (bound to the initial dataset) is reduced to
+    its class; names and classes pass through.
+    """
+    if isinstance(engine, CoverageEngine):
+        return type(engine)
+    return engine
 
 
 class IncrementalMupIndex:
@@ -41,18 +54,26 @@ class IncrementalMupIndex:
         dataset: the initial dataset.
         threshold: the coverage threshold τ (fixed for the index lifetime).
         algorithm: identification algorithm for the initial computation.
+        engine: coverage-engine backend used for every (re)built oracle.
     """
 
     def __init__(
-        self, dataset: Dataset, threshold: int, algorithm: str = "deepdiver"
+        self,
+        dataset: Dataset,
+        threshold: int,
+        algorithm: str = "deepdiver",
+        engine: EngineSpec = None,
     ) -> None:
         if threshold < 1:
             raise ReproError(f"threshold must be >= 1, got {threshold}")
         self._space = PatternSpace.for_dataset(dataset)
         self._threshold = threshold
         self._dataset = dataset
-        self._oracle = CoverageOracle(dataset)
-        initial = find_mups(dataset, threshold=threshold, algorithm=algorithm)
+        self._engine_spec = _engine_template(engine)
+        self._oracle = CoverageOracle(dataset, engine=self._engine_spec)
+        initial = find_mups(
+            dataset, threshold=threshold, algorithm=algorithm, oracle=self._oracle
+        )
         self._mups: Set[Pattern] = set(initial.mups)
         self.recomputations = 0  # localized searches performed (stats)
 
@@ -96,7 +117,7 @@ class IncrementalMupIndex:
         if addition.ndim == 1:
             addition = addition.reshape(1, -1)
         self._dataset = self._dataset.append_rows(addition)
-        self._oracle = CoverageOracle(self._dataset)
+        self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
 
         # Only MUPs matching some new tuple changed coverage.
         touched = [
@@ -141,10 +162,11 @@ class IncrementalMupIndex:
                 # actual MUP; do not descend below an uncovered node.
 
     def _all_parents_covered(self, pattern: Pattern) -> bool:
-        return all(
-            self._oracle.coverage(parent) >= self._threshold
-            for parent in pattern.parents()
-        )
+        parents = list(pattern.parents())
+        if not parents:
+            return True
+        counts = self._oracle.coverage_many(parents)
+        return bool((counts >= self._threshold).all())
 
     # ------------------------------------------------------------------
     # removals
@@ -167,7 +189,7 @@ class IncrementalMupIndex:
         keep[indices] = False
         before = set(self._mups)
         self._dataset = self._dataset.mask(keep)
-        self._oracle = CoverageOracle(self._dataset)
+        self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
 
         # 1. Existing MUPs may stop being maximal (a parent became
         #    uncovered) — exactly when the parent matches a removed tuple.

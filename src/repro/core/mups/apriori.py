@@ -18,10 +18,11 @@ implementation reproduces faithfully:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro._util import SearchStats, Stopwatch
 from repro.core.coverage import CoverageOracle
+from repro.core.engine import EngineSpec
 from repro.core.mups.base import MupResult, register_algorithm
 from repro.core.pattern import Pattern, X
 from repro.data.dataset import Dataset
@@ -48,6 +49,7 @@ def apriori_mups(
     threshold: int,
     max_level: Optional[int] = None,
     oracle: Optional[CoverageOracle] = None,
+    engine: EngineSpec = None,
 ) -> MupResult:
     """Run the APRIORI adaptation.
 
@@ -57,8 +59,9 @@ def apriori_mups(
         max_level: optionally stop after item-sets of this size.
         oracle: reuse a prebuilt coverage oracle (supports are pattern
             coverages for attribute-distinct item-sets).
+        engine: coverage-engine backend when no oracle is given.
     """
-    oracle = oracle or CoverageOracle(dataset)
+    oracle = oracle or CoverageOracle(dataset, engine=engine)
     d = dataset.d
     stats = SearchStats()
     watch = Stopwatch()
@@ -66,15 +69,28 @@ def apriori_mups(
 
     mups: List[Pattern] = []
 
-    def support(itemset: ItemSet) -> int:
-        stats.coverage_evaluations += 1
-        if _has_duplicate_attribute(itemset):
-            # No transaction holds two values of one attribute; apriori
-            # still pays to generate/count these — the wasted work §V-C
-            # calls out.
-            stats.pruned += 1
-            return 0
-        return oracle.coverage(_pattern_of(itemset, d))
+    def supports(itemsets: Sequence[ItemSet]) -> List[int]:
+        """Support of each item-set, counting the whole level in one pass.
+
+        Candidates pairing two values of one attribute have support 0 by
+        construction — no transaction holds both — yet apriori still pays
+        to generate/count them (the wasted work §V-C calls out, tracked in
+        ``stats.pruned``).  The attribute-distinct rest maps to patterns and
+        goes through the engine's batched ``coverage_many``.
+        """
+        stats.coverage_evaluations += len(itemsets)
+        valid: List[int] = []
+        patterns: List[Pattern] = []
+        for position, itemset in enumerate(itemsets):
+            if _has_duplicate_attribute(itemset):
+                stats.pruned += 1
+            else:
+                valid.append(position)
+                patterns.append(_pattern_of(itemset, d))
+        result = [0] * len(itemsets)
+        for position, count in zip(valid, oracle.coverage_many(patterns)):
+            result[position] = int(count)
+        return result
 
     # Level 1: singletons. The empty item-set (the root pattern) has support
     # n; when even the root is uncovered it is the only MUP.
@@ -82,17 +98,20 @@ def apriori_mups(
         stats.seconds = watch.elapsed()
         return MupResult((Pattern.root(d),), threshold, stats, max_level)
 
+    singletons: List[ItemSet] = [
+        ((attribute, value),)
+        for attribute in range(d)
+        for value in range(dataset.cardinalities[attribute])
+    ]
+    stats.nodes_generated += len(singletons)
     frequent_prev: List[ItemSet] = []
     frequent_prev_set: set = set()
-    for attribute in range(d):
-        for value in range(dataset.cardinalities[attribute]):
-            itemset: ItemSet = ((attribute, value),)
-            stats.nodes_generated += 1
-            if support(itemset) >= threshold:
-                frequent_prev.append(itemset)
-                frequent_prev_set.add(frozenset(itemset))
-            else:
-                mups.append(_pattern_of(itemset, d))
+    for itemset, support in zip(singletons, supports(singletons)):
+        if support >= threshold:
+            frequent_prev.append(itemset)
+            frequent_prev_set.add(frozenset(itemset))
+        else:
+            mups.append(_pattern_of(itemset, d))
 
     size = 1
     while frequent_prev and size < depth:
@@ -106,8 +125,8 @@ def apriori_mups(
                     break
                 candidate = tuple(sorted(left + (right[-1],)))
                 candidates[candidate] = None
-        frequent_now: List[ItemSet] = []
-        frequent_now_set: set = set()
+        # Subset-pruned survivors of the level, counted in one batch.
+        survivors: List[ItemSet] = []
         for candidate in candidates:
             stats.nodes_generated += 1
             subsets: List[FrozenSet[Item]] = [
@@ -115,7 +134,11 @@ def apriori_mups(
             ]
             if any(subset not in frequent_prev_set for subset in subsets):
                 continue
-            if support(candidate) >= threshold:
+            survivors.append(candidate)
+        frequent_now: List[ItemSet] = []
+        frequent_now_set: set = set()
+        for candidate, support in zip(survivors, supports(survivors)):
+            if support >= threshold:
                 frequent_now.append(candidate)
                 frequent_now_set.add(frozenset(candidate))
             elif not _has_duplicate_attribute(candidate):

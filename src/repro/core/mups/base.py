@@ -6,7 +6,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro._util import SearchStats
-from repro.core.coverage import CoverageOracle, max_covered_level
+from repro.core.coverage import CoverageOracle, max_covered_level, threshold_from_rate
+from repro.core.engine import EngineSpec
 from repro.core.pattern import Pattern
 from repro.data.dataset import Dataset
 from repro.exceptions import ReproError
@@ -31,6 +32,9 @@ class MupResult:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mups", tuple(sorted(self.mups)))
+        # Membership is queried in inner loops (incremental maintenance,
+        # cross-checks); cache the set once instead of per __contains__.
+        object.__setattr__(self, "_mup_set", frozenset(self.mups))
 
     def __len__(self) -> int:
         return len(self.mups)
@@ -39,10 +43,10 @@ class MupResult:
         return iter(self.mups)
 
     def __contains__(self, pattern: Pattern) -> bool:
-        return pattern in set(self.mups)
+        return pattern in self._mup_set
 
     def as_set(self) -> frozenset:
-        return frozenset(self.mups)
+        return self._mup_set
 
     def level_histogram(self) -> Dict[int, int]:
         """MUP count per level — the series behind Figure 6."""
@@ -88,7 +92,9 @@ def resolve_threshold(
         if threshold < 1:
             raise ReproError(f"threshold must be >= 1, got {threshold}")
         return int(threshold)
-    return CoverageOracle(dataset).threshold_from_rate(threshold_rate)
+    # Straight from the dataset size — no need to build an inverted index
+    # just to read n.
+    return threshold_from_rate(threshold_rate, dataset.n)
 
 
 def find_mups(
@@ -98,6 +104,7 @@ def find_mups(
     algorithm: str = "deepdiver",
     max_level: Optional[int] = None,
     oracle: Optional[CoverageOracle] = None,
+    engine: EngineSpec = None,
 ) -> MupResult:
     """Facade: identify the maximal uncovered patterns of a dataset.
 
@@ -110,6 +117,8 @@ def find_mups(
         max_level: only look for MUPs at level ≤ this cap (supported by
             ``pattern_breaker`` and ``deepdiver``; Figure 16).
         oracle: optionally reuse a prebuilt coverage oracle.
+        engine: coverage-engine backend (``"dense"`` / ``"packed"``) used to
+            build the oracle; ignored when ``oracle`` is given.
 
     Returns:
         A :class:`MupResult`.
@@ -124,4 +133,6 @@ def find_mups(
         kwargs["max_level"] = max_level
     if oracle is not None:
         kwargs["oracle"] = oracle
+    elif engine is not None:
+        kwargs["engine"] = engine
     return ALGORITHMS[algorithm](dataset, tau, **kwargs)

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro._util import SearchStats, Stopwatch
 from repro.core.coverage import CoverageOracle
 from repro.core.dominance import MupDominanceIndex
+from repro.core.engine import EngineSpec
+from repro.core.engine.base import Mask
 from repro.core.mups.base import MupResult, register_algorithm
 from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
@@ -36,6 +36,7 @@ def deepdiver(
     threshold: int,
     max_level: Optional[int] = None,
     oracle: Optional[CoverageOracle] = None,
+    engine: EngineSpec = None,
     use_dominance_index: bool = True,
 ) -> MupResult:
     """Run DEEPDIVER.
@@ -46,11 +47,12 @@ def deepdiver(
         max_level: do not explore below this level; returns all MUPs with
             ``ℓ(P) <= max_level`` (Figure 16's scaling mode).
         oracle: reuse a prebuilt coverage oracle.
+        engine: coverage-engine backend when no oracle is given.
         use_dominance_index: disable only for the Appendix B ablation; a
             linear scan over the MUP list is used instead.
     """
     space = PatternSpace.for_dataset(dataset)
-    oracle = oracle or CoverageOracle(dataset)
+    oracle = oracle or CoverageOracle(dataset, engine=engine)
     stats = SearchStats()
     watch = Stopwatch()
     depth = space.d if max_level is None else min(max_level, space.d)
@@ -59,7 +61,7 @@ def deepdiver(
     mup_set = set()
     coverage_cache: Dict[Pattern, int] = {}
 
-    def coverage_of(pattern: Pattern, mask: Optional[np.ndarray] = None) -> int:
+    def coverage_of(pattern: Pattern, mask: Optional[Mask] = None) -> int:
         cached = coverage_cache.get(pattern)
         if cached is not None:
             return cached
@@ -123,9 +125,11 @@ def deepdiver(
         for attr in range(start, space.d):
             if pattern[attr] != X:
                 continue
-            for value in range(space.cardinalities[attr]):
+            # One vectorized pass builds the whole sibling family's masks.
+            family = oracle.restrict_children(mask, attr)
+            for value, child_mask in enumerate(family):
                 child = pattern.with_value(attr, value)
-                stack.append((child, oracle.restrict_mask(mask, attr, value)))
+                stack.append((child, child_mask))
 
     stats.seconds = watch.elapsed()
     return MupResult(tuple(mup_set), threshold, stats, max_level)

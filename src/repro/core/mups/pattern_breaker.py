@@ -6,19 +6,21 @@ exactly once — Theorem 3).  A candidate is pruned without evaluation when
 any of its parents was uncovered or itself pruned; an evaluated candidate
 with ``cov < τ`` is a MUP (all its parents are covered by construction).
 
-Coverage is evaluated incrementally: each frontier node carries its match
-mask over the unique value combinations, so a child's coverage costs one
-vectorized AND with the inverted index (Appendix A).
+Coverage is evaluated incrementally and in batch: each frontier node
+carries its match mask over the unique value combinations, a whole level's
+surviving candidates are counted with one ``coverage_of_masks`` pass, and
+the child masks of a covered node are produced one sibling family at a
+time through the engine's vectorized ``restrict_children`` (Appendix A).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from repro._util import SearchStats, Stopwatch
 from repro.core.coverage import CoverageOracle
+from repro.core.engine import EngineSpec
+from repro.core.engine.base import Mask
 from repro.core.mups.base import MupResult, register_algorithm
 from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
@@ -31,6 +33,7 @@ def pattern_breaker(
     threshold: int,
     max_level: Optional[int] = None,
     oracle: Optional[CoverageOracle] = None,
+    engine: EngineSpec = None,
     use_masks: bool = True,
 ) -> MupResult:
     """Run PATTERN-BREAKER.
@@ -41,11 +44,12 @@ def pattern_breaker(
         max_level: stop after this level; returns all MUPs with
             ``ℓ(P) <= max_level``.
         oracle: reuse a prebuilt coverage oracle.
+        engine: coverage-engine backend when no oracle is given.
         use_masks: thread parent match-masks down the tree (Appendix A
             optimization); disable only for the ablation benchmark.
     """
     space = PatternSpace.for_dataset(dataset)
-    oracle = oracle or CoverageOracle(dataset)
+    oracle = oracle or CoverageOracle(dataset, engine=engine)
     stats = SearchStats()
     watch = Stopwatch()
     depth = space.d if max_level is None else min(max_level, space.d)
@@ -53,7 +57,7 @@ def pattern_breaker(
     root = space.root()
     mups = []
     # Frontier entries: pattern -> match mask (or None when masks are off).
-    frontier: Dict[Pattern, Optional[np.ndarray]] = {
+    frontier: Dict[Pattern, Optional[Mask]] = {
         root: oracle.full_mask() if use_masks else None
     }
     covered_prev: set = set()
@@ -61,13 +65,12 @@ def pattern_breaker(
     for level in range(0, depth + 1):
         if not frontier:
             break
-        covered_here: set = set()
-        next_frontier: Dict[Pattern, Optional[np.ndarray]] = {}
+        # Prune candidates whose parents were uncovered or pruned, then
+        # evaluate the whole surviving frontier in one batched pass.
+        survivors: List[Tuple[Pattern, Optional[Mask]]] = []
         for pattern, mask in frontier.items():
             stats.nodes_generated += 1
             if level > 0:
-                # Prune when any parent is missing from the covered frontier
-                # of the previous level (it was uncovered or pruned).
                 pruned = False
                 for parent in pattern.parents():
                     if parent not in covered_prev:
@@ -76,11 +79,16 @@ def pattern_breaker(
                 if pruned:
                     stats.pruned += 1
                     continue
-            if use_masks:
-                count = oracle.coverage_of_mask(mask)
-            else:
-                count = oracle.coverage(pattern)
-            stats.coverage_evaluations += 1
+            survivors.append((pattern, mask))
+        if use_masks:
+            counts = oracle.coverage_of_masks([mask for _, mask in survivors])
+        else:
+            counts = oracle.coverage_many([pattern for pattern, _ in survivors])
+        stats.coverage_evaluations += len(survivors)
+
+        covered_here: set = set()
+        next_frontier: Dict[Pattern, Optional[Mask]] = {}
+        for (pattern, mask), count in zip(survivors, counts):
             if count < threshold:
                 # Every parent is covered (the prune above guarantees it),
                 # so an uncovered candidate here is maximal by definition.
@@ -93,11 +101,12 @@ def pattern_breaker(
             for index in range(start, space.d):
                 if pattern[index] != X:
                     continue
-                for value in range(space.cardinalities[index]):
+                if use_masks:
+                    family = oracle.restrict_children(mask, index)
+                else:
+                    family = [None] * space.cardinalities[index]
+                for value, child_mask in enumerate(family):
                     child = pattern.with_value(index, value)
-                    child_mask = (
-                        oracle.restrict_mask(mask, index, value) if use_masks else None
-                    )
                     next_frontier[child] = child_mask
         covered_prev = covered_here
         frontier = next_frontier

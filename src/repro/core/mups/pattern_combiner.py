@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from repro._util import SearchStats, Stopwatch
 from repro.core.coverage import CoverageOracle
+from repro.core.engine import EngineSpec
 from repro.core.mups.base import MupResult, register_algorithm
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternSpace
@@ -34,6 +35,7 @@ def pattern_combiner(
     dataset: Dataset,
     threshold: int,
     oracle: Optional[CoverageOracle] = None,
+    engine: EngineSpec = None,
 ) -> MupResult:
     """Run PATTERN-COMBINER.
 
@@ -42,6 +44,7 @@ def pattern_combiner(
         threshold: absolute coverage threshold ``τ``.
         oracle: accepted for interface parity; the bottom-up algorithm only
             needs the aggregated unique rows, not per-pattern queries.
+        engine: accepted for interface parity, like ``oracle``.
     """
     space = PatternSpace.for_dataset(dataset)
     if space.combination_count() > _MAX_COMBINATIONS:

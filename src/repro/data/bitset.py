@@ -21,6 +21,24 @@ def _word_count(length: int) -> int:
     return (length + _WORD_BITS - 1) // _WORD_BITS
 
 
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-word population count of a ``uint64`` array (any shape)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on old numpy
+    #: bits-set lookup table for one uint16; four table reads cover a word.
+    _POPCOUNT16 = np.array(
+        [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
+    )
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-word population count of a ``uint64`` array (any shape)."""
+        halves = _POPCOUNT16[words.view(np.uint16)]
+        return halves.reshape(words.shape + (4,)).sum(axis=-1).astype(np.uint8)
+
+
 class BitVector:
     """Fixed-length packed bit vector backed by ``numpy.uint64`` words.
 
@@ -146,13 +164,33 @@ class BitVector:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def words(self) -> np.ndarray:
+        """The packed ``uint64`` words (a view — treat as read-only).
+
+        The coverage engines build their batched kernels directly on the
+        word arrays; padding bits beyond ``length`` are always zero.
+        """
+        return self._words
+
+    @classmethod
+    def from_words(cls, length: int, words: np.ndarray) -> "BitVector":
+        """Wrap an existing ``uint64`` word array (no copy; padding must be 0)."""
+        if words.shape != (_word_count(length),):
+            raise ValueError(
+                f"need {_word_count(length)} words for {length} bits, "
+                f"got shape {words.shape}"
+            )
+        vector = cls(0)
+        vector._length = length
+        vector._words = words
+        return vector
+
     def count(self) -> int:
-        """Population count (number of set bits)."""
+        """Population count (number of set bits), word-level (no unpacking)."""
         if self._length == 0:
             return 0
-        return int(
-            np.unpackbits(self._words.view(np.uint8), bitorder="little").sum()
-        )
+        return int(popcount_words(self._words).sum())
 
     def any(self) -> bool:
         """True if at least one bit is set (cheap word-level check)."""

@@ -1,0 +1,147 @@
+"""Property-based equivalence of the coverage-engine backends (hypothesis).
+
+The ``packed`` engine must be observationally identical to the ``dense``
+reference on every query family — point coverage, mask threading, batched
+frontier evaluation, and whole MUP identification runs.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.coverage import CoverageOracle
+from repro.core.engine import DenseBoolEngine, PackedBitsetEngine, resolve_engine
+from repro.core.mups.base import find_mups
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset, Schema
+
+
+@st.composite
+def datasets(draw, max_d: int = 4, max_card: int = 4, max_n: int = 40):
+    d = draw(st.integers(min_value=1, max_value=max_d))
+    cardinalities = draw(
+        st.lists(st.integers(min_value=1, max_value=max_card), min_size=d, max_size=d)
+    )
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    rows = [
+        [draw(st.integers(min_value=0, max_value=c - 1)) for c in cardinalities]
+        for _ in range(n)
+    ]
+    schema = Schema.of([f"A{i + 1}" for i in range(d)], cardinalities)
+    array = np.asarray(rows, dtype=np.int32).reshape(n, d)
+    return Dataset(schema, array)
+
+
+@st.composite
+def dataset_and_patterns(draw, max_patterns: int = 8):
+    dataset = draw(datasets())
+    k = draw(st.integers(min_value=0, max_value=max_patterns))
+    patterns = []
+    for _ in range(k):
+        values = [
+            draw(st.sampled_from([X] + list(range(c))))
+            for c in dataset.cardinalities
+        ]
+        patterns.append(Pattern(values))
+    return dataset, patterns
+
+
+def _engines(dataset):
+    return DenseBoolEngine(dataset), PackedBitsetEngine(dataset)
+
+
+@given(dataset_and_patterns())
+def test_point_coverage_identical(case):
+    dataset, patterns = case
+    dense, packed = _engines(dataset)
+    for pattern in patterns:
+        assert dense.coverage(pattern) == packed.coverage(pattern)
+
+
+@given(dataset_and_patterns())
+def test_match_masks_select_same_rows(case):
+    dataset, patterns = case
+    dense, packed = _engines(dataset)
+    for pattern in patterns:
+        dense_bits = dense.mask_to_bool(dense.match_mask(pattern))
+        packed_bits = packed.mask_to_bool(packed.match_mask(pattern))
+        assert np.array_equal(dense_bits, packed_bits)
+
+
+@given(dataset_and_patterns())
+@settings(max_examples=40)
+def test_coverage_many_matches_pointwise(case):
+    dataset, patterns = case
+    dense, packed = _engines(dataset)
+    batched_dense = dense.coverage_many(patterns)
+    batched_packed = packed.coverage_many(patterns)
+    pointwise = [dense.coverage(p) for p in patterns]
+    assert list(batched_dense) == pointwise
+    assert list(batched_packed) == pointwise
+
+
+@given(dataset_and_patterns())
+@settings(max_examples=40)
+def test_restrict_children_partitions_the_mask(case):
+    dataset, patterns = case
+    dense, packed = _engines(dataset)
+    for pattern in patterns:
+        free = pattern.nondeterministic_indices()
+        if not free:
+            continue
+        attribute = free[0]
+        for engine in (dense, packed):
+            mask = engine.match_mask(pattern)
+            family = engine.restrict_children(mask, attribute)
+            assert len(family) == dataset.cardinalities[attribute]
+            family_counts = engine.count_many(family)
+            # The sibling family partitions the parent's matches.
+            assert int(family_counts.sum()) == engine.count(mask)
+            for value, child_mask in enumerate(family):
+                direct = engine.restrict(mask, attribute, value)
+                assert np.array_equal(
+                    engine.mask_to_bool(child_mask), engine.mask_to_bool(direct)
+                )
+
+
+@given(datasets())
+@settings(max_examples=40)
+def test_mask_threading_identical_across_engines(dataset):
+    dense_oracle = CoverageOracle(dataset, engine="dense")
+    packed_oracle = CoverageOracle(dataset, engine="packed")
+    space = PatternSpace.for_dataset(dataset)
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        pattern = space.random_pattern(rng)
+        for oracle in (dense_oracle, packed_oracle):
+            mask = oracle.full_mask()
+            for index in pattern.deterministic_indices():
+                mask = oracle.restrict_mask(mask, index, pattern[index])
+            assert oracle.coverage_of_mask(mask) == dense_oracle.coverage(pattern)
+
+
+@given(datasets(max_d=3, max_card=3, max_n=25))
+@settings(max_examples=25, deadline=None)
+def test_mup_sets_identical_across_engines(dataset):
+    for algorithm in ("naive", "apriori", "pattern_breaker", "deepdiver"):
+        dense_result = find_mups(
+            dataset, threshold=2, algorithm=algorithm, engine="dense"
+        )
+        packed_result = find_mups(
+            dataset, threshold=2, algorithm=algorithm, engine="packed"
+        )
+        assert dense_result.as_set() == packed_result.as_set()
+
+
+@given(datasets())
+@settings(max_examples=30)
+def test_packed_index_is_smaller(dataset):
+    dense, packed = _engines(dataset)
+    if dense.unique_count > 8:
+        assert packed.index_nbytes < dense.index_nbytes
+    # resolve_engine round-trips names, classes, and instances.
+    assert resolve_engine("packed", dataset).name == "packed"
+    assert resolve_engine(PackedBitsetEngine, dataset).name == "packed"
+    assert resolve_engine(packed, dataset) is packed
+    assert resolve_engine(None, dataset).name == "dense"
