@@ -30,6 +30,7 @@ from repro.core.engine import (
     CoverageEngine,
     DenseBoolEngine,
     PackedBitsetEngine,
+    ShardedEngine,
     resolve_engine,
 )
 from repro.core.coverage import CoverageOracle, coverage_scan, max_covered_level
@@ -66,6 +67,7 @@ __all__ = [
     "CoverageEngine",
     "DenseBoolEngine",
     "PackedBitsetEngine",
+    "ShardedEngine",
     "ENGINES",
     "resolve_engine",
     "CoverageOracle",

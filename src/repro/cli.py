@@ -21,7 +21,13 @@ from typing import List, Optional, Sequence
 from repro.analysis.nutrition import coverage_label
 from repro.analysis.report import enhancement_report, mup_report
 from repro.core.coverage import CoverageOracle
-from repro.core.engine import DEFAULT_ENGINE, ENGINES
+from repro.core.engine import (
+    DEFAULT_ENGINE,
+    DEFAULT_SHARDS,
+    ENGINES,
+    EngineSpec,
+    resolve_engine,
+)
 from repro.core.enhancement.greedy import greedy_cover
 from repro.core.enhancement.expansion import uncovered_at_level
 from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
@@ -63,21 +69,53 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-level", type=int, default=None, help="level cap for the search"
     )
+    _add_engine_options(parser)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         default=DEFAULT_ENGINE,
         choices=sorted(ENGINES),
         help="coverage-engine backend: 'dense' uses unpacked boolean "
         "vectors (reference), 'packed' uses uint64 bitsets with word-level "
-        "popcount (8x smaller index)",
+        "popcount (8x smaller index), 'sharded' partitions the packed "
+        "index row-wise for bounded per-kernel working sets",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        help="shard count for --engine sharded (clamped to the number of "
+        "distinct value combinations)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size for --engine sharded shard fan-out "
+        "(default: evaluate shards serially)",
+    )
+
+
+def _build_engine(args: argparse.Namespace, dataset: Dataset) -> EngineSpec:
+    """The engine selected by the CLI flags, built against ``dataset``.
+
+    Only the sharded backend takes construction options, so the other
+    names pass through untouched (their consumers build them on demand).
+    """
+    if args.engine == "sharded":
+        return resolve_engine(
+            "sharded", dataset, shards=args.shards, workers=args.workers
+        )
+    return args.engine
 
 
 def _cmd_identify(args: argparse.Namespace) -> int:
     dataset = _load_csv(args.csv, args.attributes)
     # One oracle serves both the search and the report, so the inverted
     # index is built once.
-    oracle = CoverageOracle(dataset, engine=args.engine)
+    oracle = CoverageOracle(dataset, engine=_build_engine(args, dataset))
     result = find_mups(
         dataset,
         threshold=args.threshold,
@@ -96,7 +134,7 @@ def _cmd_label(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         algorithm=args.algorithm,
         max_level=args.max_level,
-        engine=args.engine,
+        engine=_build_engine(args, dataset),
     )
     print(label.render())
     return 0
@@ -131,7 +169,7 @@ def _cmd_enhance(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         algorithm=args.algorithm,
         max_level=args.max_level,
-        engine=args.engine,
+        engine=_build_engine(args, dataset),
     )
     space = PatternSpace.for_dataset(dataset)
     targets = uncovered_at_level(result.mups, space, args.level)
@@ -143,7 +181,7 @@ def _cmd_enhance(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = load_compas()
-    oracle = CoverageOracle(dataset, engine=args.engine)
+    oracle = CoverageOracle(dataset, engine=_build_engine(args, dataset))
     result = find_mups(
         dataset,
         threshold=args.threshold,
@@ -189,12 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="COMPAS walk-through on bundled data")
     demo.add_argument("--threshold", type=int, default=10)
     demo.add_argument("--limit", type=int, default=20)
-    demo.add_argument(
-        "--engine",
-        default=DEFAULT_ENGINE,
-        choices=sorted(ENGINES),
-        help="coverage-engine backend",
-    )
+    _add_engine_options(demo)
     demo.set_defaults(handler=_cmd_demo)
 
     return parser

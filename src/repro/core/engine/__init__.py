@@ -1,12 +1,13 @@
 """Pluggable coverage engines (Appendix A behind one interface).
 
-Importing this package registers both backends; select one by name
-(``"dense"`` / ``"packed"``) anywhere an ``engine=`` argument or the CLI
-``--engine`` flag is accepted.
+Importing this package registers every backend; select one by name
+(``"dense"`` / ``"packed"`` / ``"sharded"``) anywhere an ``engine=``
+argument or the CLI ``--engine`` flag is accepted.
 """
 
 from repro.core.engine.base import (
     DEFAULT_ENGINE,
+    DEFAULT_MASK_CACHE,
     ENGINES,
     CoverageEngine,
     EngineSpec,
@@ -16,13 +17,17 @@ from repro.core.engine.base import (
 )
 from repro.core.engine.dense import DenseBoolEngine
 from repro.core.engine.packed import PackedBitsetEngine
+from repro.core.engine.sharded import DEFAULT_SHARDS, ShardedEngine
 
 __all__ = [
     "CoverageEngine",
     "DenseBoolEngine",
     "PackedBitsetEngine",
+    "ShardedEngine",
     "ENGINES",
     "DEFAULT_ENGINE",
+    "DEFAULT_MASK_CACHE",
+    "DEFAULT_SHARDS",
     "EngineSpec",
     "engine_name",
     "register_engine",

@@ -13,19 +13,30 @@ owns those vectors for one dataset and answers three families of queries:
 Masks are engine-specific opaque handles: callers obtain them from the
 engine (``full_mask``, ``match_mask``, ``restrict``…), hand them back to
 the engine, and never inspect them directly (``mask_to_bool`` converts
-when row identities are needed).  Two backends are registered:
+when row identities are needed).  Three backends are registered:
 
 * ``dense`` — :class:`~repro.core.engine.dense.DenseBoolEngine`, unpacked
   boolean ndarrays (the reference/ablation baseline);
 * ``packed`` — :class:`~repro.core.engine.packed.PackedBitsetEngine`,
   ``uint64``-packed :class:`~repro.data.bitset.BitVector` words with
-  word-level popcount (8× smaller index, word-at-a-time ANDs).
+  word-level popcount (8× smaller index, word-at-a-time ANDs);
+* ``sharded`` — :class:`~repro.core.engine.sharded.ShardedEngine`, the
+  packed index partitioned row-wise into K shards whose per-shard kernels
+  are reduced (optionally on a worker pool) into global answers.
+
+The base class also layers a **hot-mask LRU cache** over ``match_mask``:
+repeated frontier evaluations (PATTERN-BREAKER re-visits, enhancement
+greedy's repeated target queries, incremental re-runs) hit the cache
+instead of re-ANDing the index.  Masks handed out are private copies, so
+callers may mutate them freely; ``cache_info`` exposes hit/miss counters
+for the benchmarks.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, List, Sequence, Type, Union
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -41,6 +52,14 @@ ENGINES: Dict[str, Type["CoverageEngine"]] = {}
 
 #: Registry key used when no engine is specified.
 DEFAULT_ENGINE = "dense"
+
+#: Default capacity of the per-engine hot-mask LRU cache (0 disables it).
+DEFAULT_MASK_CACHE = 1024
+
+#: Byte budget for cached masks: the entry cap alone would let a dense
+#: cache dwarf the index it fronts on wide datasets, so eviction also
+#: keeps total cached mask bytes under this ceiling.
+DEFAULT_MASK_CACHE_BYTES = 32 << 20
 
 
 def register_engine(cls: Type["CoverageEngine"]) -> Type["CoverageEngine"]:
@@ -61,11 +80,18 @@ class CoverageEngine(ABC):
     #: Registry key of the backend (set by subclasses).
     name: str = ""
 
-    def __init__(self, dataset: Dataset) -> None:
+    def __init__(
+        self, dataset: Dataset, mask_cache_size: int = DEFAULT_MASK_CACHE
+    ) -> None:
         self._dataset = dataset
         unique, counts = dataset.unique_rows()
         self._unique = unique
         self._counts = counts
+        self._mask_cache: "OrderedDict[Tuple[int, ...], Mask]" = OrderedDict()
+        self._mask_cache_size = max(0, int(mask_cache_size))
+        self._mask_cache_nbytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # shared accessors
@@ -144,14 +170,95 @@ class CoverageEngine(ABC):
         """The mask as a boolean array over the unique combinations."""
 
     # ------------------------------------------------------------------
+    # mask copying (cache safety)
+    # ------------------------------------------------------------------
+    def copy_mask(self, mask: Mask) -> Mask:
+        """A private copy of ``mask`` the caller may mutate.
+
+        Both built-in mask handles (``ndarray``, ``BitVector``) expose
+        ``copy``; backends with composite handles override this.
+        """
+        return mask.copy()
+
+    # ------------------------------------------------------------------
+    # hot-mask LRU cache
+    # ------------------------------------------------------------------
+    @property
+    def mask_cache_size(self) -> int:
+        """Capacity of the hot-mask cache (0 = caching disabled)."""
+        return self._mask_cache_size
+
+    def cache_info(self) -> Dict[str, float]:
+        """Hit/miss counters and occupancy of the hot-mask cache.
+
+        Counter values are ints; ``hit_rate`` is a float in ``[0, 1]``.
+        """
+        total = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._mask_cache),
+            "nbytes": self._mask_cache_nbytes,
+            "max_size": self._mask_cache_size,
+            "hit_rate": (self.cache_hits / total) if total else 0.0,
+        }
+
+    def clear_mask_cache(self) -> None:
+        """Drop every cached mask and reset the hit/miss counters."""
+        self._mask_cache.clear()
+        self._mask_cache_nbytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @staticmethod
+    def _mask_nbytes(mask: Mask) -> int:
+        """Approximate heap size of one cached mask."""
+        nbytes = getattr(mask, "nbytes", None)
+        if nbytes is None:
+            # BitVector handles expose their packed words.
+            words = getattr(mask, "words", None)
+            nbytes = words.nbytes if words is not None else 0
+        return int(nbytes)
+
+    # ------------------------------------------------------------------
     # pattern-level queries (shared composition)
     # ------------------------------------------------------------------
-    def match_mask(self, pattern: Pattern) -> Mask:
-        """Mask over unique combinations matching ``pattern``."""
-        self._check_pattern(pattern)
+    def _compute_match_mask(self, pattern: Pattern) -> Mask:
+        """Build the match mask by chained restriction (backends override)."""
         mask = self.full_mask()
         for index in pattern.deterministic_indices():
             mask = self.restrict(mask, index, pattern[index])
+        return mask
+
+    def match_mask(self, pattern: Pattern) -> Mask:
+        """Mask over unique combinations matching ``pattern`` (cached).
+
+        The cache is keyed by the canonical pattern values; the engine keeps
+        its own copy of every cached mask and hands out fresh copies, so
+        callers may mutate the returned handle.
+        """
+        self._check_pattern(pattern)
+        if not self._mask_cache_size:
+            return self._compute_match_mask(pattern)
+        key = pattern.values
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._mask_cache.move_to_end(key)
+            return self.copy_mask(cached)
+        self.cache_misses += 1
+        mask = self._compute_match_mask(pattern)
+        self._mask_cache[key] = self.copy_mask(mask)
+        self._mask_cache_nbytes += self._mask_nbytes(mask)
+        # Evict by entry count and by byte budget (always keeping the
+        # newest entry, so one huge mask degrades to a 1-entry cache
+        # instead of thrashing).
+        while len(self._mask_cache) > 1 and (
+            len(self._mask_cache) > self._mask_cache_size
+            or self._mask_cache_nbytes > DEFAULT_MASK_CACHE_BYTES
+        ):
+            _, evicted = self._mask_cache.popitem(last=False)
+            self._mask_cache_nbytes -= self._mask_nbytes(evicted)
         return mask
 
     def coverage(self, pattern: Pattern) -> int:
@@ -164,22 +271,65 @@ class CoverageEngine(ABC):
             return np.zeros(0, dtype=np.int64)
         return self.count_many([self.match_mask(p) for p in patterns])
 
+    # ------------------------------------------------------------------
+    # rebuild support
+    # ------------------------------------------------------------------
+    def _template_options(self) -> Dict[str, Any]:
+        """Constructor options :meth:`template` must carry onto a rebuild.
 
-#: Anything that names an engine: a registry key, a class, an instance, or
-#: ``None`` for the default.  Defined after the class so the alias holds the
-#: real type (annotations referencing it resolve in any importing module).
-EngineSpec = Union[None, str, Type[CoverageEngine], CoverageEngine]
+        Backends with extra constructor parameters (shard count, worker
+        pool) extend this dict.
+        """
+        return {"mask_cache_size": self._mask_cache_size}
+
+    def template(self) -> "EngineSpec":
+        """A dataset-free factory that rebuilds an equivalently configured engine.
+
+        Consumers that re-index after the dataset changes (e.g. the
+        incremental MUP index) use this to carry an engine's configuration
+        — cache capacity, shard count, worker pool — onto the new dataset,
+        with none of the old dataset's masks or cached state.
+        """
+        cls = type(self)
+        options = self._template_options()
+
+        def build(dataset: Dataset, **overrides: Any) -> "CoverageEngine":
+            return cls(dataset, **{**options, **overrides})
+
+        build.engine_name = cls.name
+        return build
 
 
-def resolve_engine(spec: EngineSpec, dataset: Dataset) -> CoverageEngine:
+#: Anything that names an engine: a registry key, a class, an instance, a
+#: dataset-free factory (e.g. an engine ``template()``), or ``None`` for the
+#: default.  Defined after the class so the alias holds the real type
+#: (annotations referencing it resolve in any importing module).
+EngineSpec = Union[
+    None, str, Type[CoverageEngine], CoverageEngine, Callable[..., CoverageEngine]
+]
+
+
+def resolve_engine(
+    spec: EngineSpec, dataset: Dataset, **options: Any
+) -> CoverageEngine:
     """Build (or pass through) the engine selected by ``spec``.
 
-    Accepts a registry name (``"dense"``/``"packed"``), an engine class, an
-    already-built instance (returned as-is), or ``None`` for the default.
+    Accepts a registry name (``"dense"`` / ``"packed"`` / ``"sharded"``), an
+    engine class, a dataset-free factory callable (such as an engine's
+    :meth:`~CoverageEngine.template`), an already-built instance (returned
+    as-is), or ``None`` for the default.  Keyword ``options`` are forwarded
+    to the backend constructor (``shards=``, ``workers=``,
+    ``mask_cache_size=``…); they cannot be combined with a prebuilt
+    instance, which is already configured.
     """
     if spec is None:
         spec = DEFAULT_ENGINE
     if isinstance(spec, CoverageEngine):
+        if options:
+            raise ReproError(
+                f"engine options {sorted(options)} cannot be applied to the "
+                f"prebuilt instance {spec!r}; pass the engine name or class"
+            )
         if spec.dataset is not dataset:
             raise ReproError(
                 f"engine was built for a different dataset "
@@ -192,9 +342,17 @@ def resolve_engine(spec: EngineSpec, dataset: Dataset) -> CoverageEngine:
             raise ReproError(
                 f"unknown coverage engine {spec!r}; available: {sorted(ENGINES)}"
             )
-        return ENGINES[spec](dataset)
-    if isinstance(spec, type) and issubclass(spec, CoverageEngine):
-        return spec(dataset)
+        spec = ENGINES[spec]
+    if (isinstance(spec, type) and issubclass(spec, CoverageEngine)) or (
+        not isinstance(spec, type) and callable(spec)
+    ):
+        built = spec(dataset, **options)
+        if not isinstance(built, CoverageEngine):
+            raise ReproError(
+                f"engine factory {spec!r} returned {built!r}, "
+                f"not a CoverageEngine"
+            )
+        return built
     raise ReproError(f"cannot interpret {spec!r} as a coverage engine")
 
 
@@ -212,4 +370,8 @@ def engine_name(spec: EngineSpec) -> str:
         return type(spec).name
     if isinstance(spec, type) and issubclass(spec, CoverageEngine):
         return spec.name
+    name = getattr(spec, "engine_name", None)
+    if isinstance(name, str) and name in ENGINES:
+        # Dataset-free factories (engine templates) carry their backend name.
+        return name
     raise ReproError(f"cannot interpret {spec!r} as a coverage engine")

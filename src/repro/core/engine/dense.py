@@ -12,7 +12,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.engine.base import CoverageEngine, register_engine
+from repro.core.engine.base import (
+    DEFAULT_MASK_CACHE,
+    CoverageEngine,
+    register_engine,
+)
 from repro.data.dataset import Dataset
 
 
@@ -22,8 +26,10 @@ class DenseBoolEngine(CoverageEngine):
 
     name = "dense"
 
-    def __init__(self, dataset: Dataset) -> None:
-        super().__init__(dataset)
+    def __init__(
+        self, dataset: Dataset, mask_cache_size: int = DEFAULT_MASK_CACHE
+    ) -> None:
+        super().__init__(dataset, mask_cache_size=mask_cache_size)
         # _index[i][v] is the boolean vector over unique rows with value v
         # on attribute i (the inverted index of Appendix A).
         self._index: List[np.ndarray] = []
@@ -68,9 +74,8 @@ class DenseBoolEngine(CoverageEngine):
     def mask_to_bool(self, mask: np.ndarray) -> np.ndarray:
         return np.asarray(mask, dtype=bool)
 
-    def match_mask(self, pattern) -> np.ndarray:
+    def _compute_match_mask(self, pattern) -> np.ndarray:
         # Override the generic chain to AND in place over one buffer.
-        self._check_pattern(pattern)
         mask = self.full_mask()
         for index in pattern.deterministic_indices():
             np.logical_and(mask, self._index[index][pattern[index]], out=mask)

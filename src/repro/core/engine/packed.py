@@ -17,7 +17,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.engine.base import CoverageEngine, register_engine
+from repro.core.engine.base import (
+    DEFAULT_MASK_CACHE,
+    CoverageEngine,
+    register_engine,
+)
 from repro.data.bitset import BitVector, popcount_words
 from repro.data.dataset import Dataset
 
@@ -30,8 +34,10 @@ class PackedBitsetEngine(CoverageEngine):
 
     name = "packed"
 
-    def __init__(self, dataset: Dataset) -> None:
-        super().__init__(dataset)
+    def __init__(
+        self, dataset: Dataset, mask_cache_size: int = DEFAULT_MASK_CACHE
+    ) -> None:
+        super().__init__(dataset, mask_cache_size=mask_cache_size)
         unique = self._unique
         u = len(unique)
         # _vectors[i][v] is the BitVector over unique rows with value v on
@@ -75,6 +81,24 @@ class PackedBitsetEngine(CoverageEngine):
         return bits @ self._counts_padded
 
     # ------------------------------------------------------------------
+    # packed-representation accessors (the sharded engine builds on these)
+    # ------------------------------------------------------------------
+    @property
+    def is_uniform(self) -> bool:
+        """True when every multiplicity is 1 (coverage = pure popcount)."""
+        return self._uniform
+
+    @property
+    def counts_padded(self) -> np.ndarray:
+        """Multiplicities padded to the word boundary (do not mutate)."""
+        return self._counts_padded
+
+    def word_matrix(self, attribute: int) -> np.ndarray:
+        """The stacked ``(cardinality, words)`` index of one attribute
+        (do not mutate)."""
+        return self._words[attribute]
+
+    # ------------------------------------------------------------------
     # mask kernel
     # ------------------------------------------------------------------
     @property
@@ -113,9 +137,8 @@ class PackedBitsetEngine(CoverageEngine):
     def mask_to_bool(self, mask: BitVector) -> np.ndarray:
         return mask.to_bool_array()
 
-    def match_mask(self, pattern) -> BitVector:
+    def _compute_match_mask(self, pattern) -> BitVector:
         # Override the generic chain to AND in place over one buffer.
-        self._check_pattern(pattern)
         mask = self.full_mask()
         for index in pattern.deterministic_indices():
             mask.iand(self._vectors[index][pattern[index]])

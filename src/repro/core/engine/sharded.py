@@ -1,0 +1,383 @@
+"""Sharded coverage engine (the packed index partitioned K ways).
+
+The dataset's rows are split into K shards by partitioning the sorted
+unique-combination space into contiguous slices: shard ``j`` owns every
+row whose value combination falls in its slice.  Appendix A's index works
+over unique combinations, so this keeps each combination (and all its
+duplicate rows) in exactly one shard — the shard multiplicity vectors
+concatenate to the global one and no work is replicated across shards.
+
+Each shard is indexed by an inner
+:class:`~repro.core.engine.packed.PackedBitsetEngine`; the shard word
+blocks are laid out side by side in one flat ``uint64`` word space, so a
+mask is a single word array in which shard ``j`` owns a contiguous,
+word-aligned slice:
+
+* **serial** queries run the fused packed kernels over the whole flat
+  array — one ``bitwise_and`` / popcount per query family, so a K-shard
+  engine costs the same numpy dispatch as the unsharded one (plus at most
+  K-1 words of shard-boundary padding);
+* with ``workers=`` the same kernels run per shard slice on a thread pool
+  (numpy releases the GIL inside the bitwise/popcount loops) and the
+  per-shard partial counts are reduced in shard order, so results are
+  bit-for-bit identical to the serial path.
+
+Shard slices are exactly the unit the roadmap's mmap-backed out-of-core
+index will load and evict: every kernel below already touches one shard's
+words through its ``(word_start, word_stop)`` window only.
+"""
+
+from __future__ import annotations
+
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.engine.base import (
+    DEFAULT_MASK_CACHE,
+    CoverageEngine,
+    register_engine,
+)
+from repro.core.engine.packed import PackedBitsetEngine
+from repro.data.bitset import popcount_words
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError
+
+#: Default number of shards when none is requested.
+DEFAULT_SHARDS = 4
+
+_WORD_BITS = 64
+
+_T = TypeVar("_T")
+
+#: A sharded mask: one flat ``uint64`` word array over all shard slices.
+ShardedMask = np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Placement of one shard inside the engine's flat word space.
+
+    A shard owns the contiguous slice ``[unique_start, unique_stop)`` of
+    the engine's (sorted) global unique combinations and the word range
+    ``[word_start, word_stop)`` of every mask; both views into the global
+    arrays are derivable from the bounds, so no per-shard copies exist.
+    """
+
+    row_count: int  #: number of dataset rows (with duplicates) in the shard
+    unique_start: int  #: first global unique-combination index of the shard
+    unique_stop: int  #: one past the shard's last unique-combination index
+    unique_rows: np.ndarray  #: view of the shard's unique-combination slice
+    counts: np.ndarray  #: view of the matching multiplicity slice
+    word_start: int  #: first word of the shard's mask slice
+    word_stop: int  #: one past the shard's last mask word
+
+    @property
+    def unique_count(self) -> int:
+        return self.unique_stop - self.unique_start
+
+
+@register_engine
+class ShardedEngine(CoverageEngine):
+    """Coverage queries over K row-shards of packed membership vectors.
+
+    Args:
+        dataset: the dataset to index.
+        shards: requested shard count; clamped to the number of distinct
+            value combinations (an empty dataset keeps one empty shard) so
+            over-sharding degrades gracefully instead of crashing.
+        workers: fan the per-shard kernels out over a thread pool of this
+            size; ``None`` (default) runs the fused serial kernels.
+            Results are identical either way — shard answers are reduced
+            in shard order.
+        mask_cache_size: capacity of the hot-mask LRU cache layered over
+            ``match_mask`` (see :class:`CoverageEngine`).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        shards: int = DEFAULT_SHARDS,
+        workers: Optional[int] = None,
+        mask_cache_size: int = DEFAULT_MASK_CACHE,
+    ) -> None:
+        super().__init__(dataset, mask_cache_size=mask_cache_size)
+        shards = int(shards)
+        if shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {shards}")
+        if workers is not None:
+            workers = int(workers)
+            if workers < 1:
+                raise ReproError(f"worker count must be >= 1, got {workers}")
+        self._requested_shards = shards
+        self._workers = workers
+        # Clamp: more shards than distinct combinations would only produce
+        # empty shards (the index's unit of work is a unique combination).
+        unique_total = len(self._unique)
+        effective = max(1, min(shards, max(unique_total, 1)))
+        bounds = np.linspace(0, unique_total, effective + 1).astype(np.int64)
+        # Which slice of the (sorted) unique space each row falls in.
+        inverse = dataset.unique_inverse()
+
+        self._shards: List[ShardInfo] = []
+        attribute_blocks: List[List[np.ndarray]] = [[] for _ in dataset.cardinalities]
+        count_blocks: List[np.ndarray] = []
+        full_blocks: List[np.ndarray] = []
+        uniform = True
+        word_offset = 0
+        for unique_start, unique_stop in zip(bounds[:-1], bounds[1:]):
+            row_indices = np.nonzero(
+                (inverse >= unique_start) & (inverse < unique_stop)
+            )[0]
+            # Each shard is an inner packed engine; its word blocks are
+            # harvested into the flat layout and the engine dropped, so the
+            # index exists once.  The shard's unique rows are, by
+            # construction, exactly the global slice — prime the shard
+            # dataset with it so the inner engine skips its own re-sort.
+            shard_dataset = dataset.take(row_indices)
+            unique_slice = self._unique[unique_start:unique_stop]
+            shard_dataset._prime_unique_cache(
+                unique_slice, self._counts[unique_start:unique_stop]
+            )
+            inner = PackedBitsetEngine(shard_dataset, mask_cache_size=0)
+            words = inner.full_mask().words
+            for attribute in range(dataset.d):
+                attribute_blocks[attribute].append(inner.word_matrix(attribute))
+            count_blocks.append(inner.counts_padded)
+            full_blocks.append(words)
+            uniform = uniform and inner.is_uniform
+            self._shards.append(
+                ShardInfo(
+                    row_count=len(row_indices),
+                    unique_start=int(unique_start),
+                    unique_stop=int(unique_stop),
+                    unique_rows=unique_slice,
+                    counts=self._counts[unique_start:unique_stop],
+                    word_start=word_offset,
+                    word_stop=word_offset + len(words),
+                )
+            )
+            word_offset += len(words)
+
+        # The flat index: per attribute a (cardinality, total_words) matrix
+        # whose column ranges are the shard slices.
+        self._words: List[np.ndarray] = [
+            np.ascontiguousarray(np.concatenate(blocks, axis=1))
+            for blocks in attribute_blocks
+        ]
+        self._counts_padded = (
+            np.concatenate(count_blocks)
+            if count_blocks
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._full_words = (
+            np.concatenate(full_blocks)
+            if full_blocks
+            else np.zeros(0, dtype=np.uint64)
+        )
+        self._uniform = uniform
+        self._word_count = word_offset
+
+        # The pool is created lazily on the first fan-out query and shut
+        # down when the engine is closed or garbage-collected, so rebuild
+        # churn (e.g. the incremental index) never accumulates idle threads.
+        self._fan_out = (
+            workers is not None and workers > 1 and len(self._shards) > 1
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------
+    # shard plumbing
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of shards actually built (requested count clamped to n)."""
+        return len(self._shards)
+
+    @property
+    def shard_infos(self) -> List[ShardInfo]:
+        """Placement records of every shard, in shard order."""
+        return list(self._shards)
+
+    @property
+    def requested_shards(self) -> int:
+        """Shard count asked for at construction (before clamping)."""
+        return self._requested_shards
+
+    @property
+    def workers(self) -> Optional[int]:
+        """Thread-pool size for shard fan-out; ``None`` means serial."""
+        return self._workers
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when none was ever started).
+
+        The engine stays usable: a later fan-out query simply starts a
+        fresh pool.
+        """
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _map_shards(self, fn: Callable[[ShardInfo], _T]) -> List[_T]:
+        """``[fn(shard_0), …, fn(shard_K-1)]`` on the pool, in shard order.
+
+        Only the worker fan-out paths call this; serial queries use the
+        fused flat kernels instead.
+        """
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self._workers, len(self._shards)),
+                thread_name_prefix="repro-shard",
+            )
+            self._finalizer = weakref.finalize(
+                self, self._executor.shutdown, wait=False
+            )
+        return list(self._executor.map(fn, self._shards))
+
+    def _template_options(self) -> dict:
+        options = super()._template_options()
+        options.update(shards=self._requested_shards, workers=self._workers)
+        return options
+
+    # ------------------------------------------------------------------
+    # counting kernels
+    # ------------------------------------------------------------------
+    def _count_words(self, words: np.ndarray) -> int:
+        """Weighted count of one flat word array (the whole mask space)."""
+        if words.size == 0:
+            return 0
+        if self._uniform:
+            return int(popcount_words(words).sum())
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return int(bits @ self._counts_padded)
+
+    def _count_word_matrix(self, matrix: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Weighted count of each row of a ``(k, W)`` word matrix."""
+        # Shard-sliced matrices are not C-contiguous, and numpy < 1.23
+        # refuses the itemsize-changing views both counting paths take
+        # (popcount_words' uint16 fallback and the unpackbits uint8 view).
+        matrix = np.ascontiguousarray(matrix)
+        if self._uniform:
+            return popcount_words(matrix).sum(axis=1, dtype=np.int64)
+        if matrix.shape[1] == 0:
+            return np.zeros(matrix.shape[0], dtype=np.int64)
+        bits = np.unpackbits(matrix.view(np.uint8), axis=1, bitorder="little")
+        return bits @ counts
+
+    # ------------------------------------------------------------------
+    # mask kernel
+    # ------------------------------------------------------------------
+    @property
+    def index_nbytes(self) -> int:
+        return sum(words.nbytes for words in self._words)
+
+    def full_mask(self) -> ShardedMask:
+        return self._full_words.copy()
+
+    def value_mask(self, attribute: int, value: int) -> ShardedMask:
+        return self._words[attribute][value]
+
+    def restrict(
+        self, mask: ShardedMask, attribute: int, value: int
+    ) -> ShardedMask:
+        return np.bitwise_and(mask, self._words[attribute][value])
+
+    def restrict_children(
+        self, mask: ShardedMask, attribute: int
+    ) -> List[ShardedMask]:
+        index = self._words[attribute]
+        if not self._fan_out:
+            family = np.bitwise_and(mask[np.newaxis, :], index)
+        else:
+            family = np.empty_like(index)
+
+            def _and_slice(shard: ShardInfo) -> None:
+                window = slice(shard.word_start, shard.word_stop)
+                np.bitwise_and(
+                    mask[np.newaxis, window], index[:, window], out=family[:, window]
+                )
+
+            self._map_shards(_and_slice)
+        return list(family)
+
+    def count(self, mask: ShardedMask) -> int:
+        if not self._fan_out:
+            return self._count_words(mask)
+        partials = self._map_shards(
+            lambda shard: self._count_shard_words(
+                mask[shard.word_start : shard.word_stop], shard
+            )
+        )
+        return int(sum(partials))
+
+    def _count_shard_words(self, words: np.ndarray, shard: ShardInfo) -> int:
+        if words.size == 0:
+            return 0
+        if self._uniform:
+            return int(popcount_words(words).sum())
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        counts = self._counts_padded[
+            shard.word_start * _WORD_BITS : shard.word_stop * _WORD_BITS
+        ]
+        return int(bits @ counts)
+
+    def count_many(self, masks: Sequence[ShardedMask]) -> np.ndarray:
+        if not len(masks):
+            return np.zeros(0, dtype=np.int64)
+        matrix = np.stack(masks)
+        if not self._fan_out:
+            return self._count_word_matrix(matrix, self._counts_padded)
+        partials = self._map_shards(
+            lambda shard: self._count_word_matrix(
+                matrix[:, shard.word_start : shard.word_stop],
+                self._counts_padded[
+                    shard.word_start * _WORD_BITS : shard.word_stop * _WORD_BITS
+                ],
+            )
+        )
+        total = partials[0].copy()
+        for partial in partials[1:]:
+            total += partial
+        return total
+
+    def mask_to_bool(self, mask: ShardedMask) -> np.ndarray:
+        selected = np.zeros(self.unique_count, dtype=bool)
+        if mask.size == 0:
+            return selected
+        bits = np.unpackbits(mask.view(np.uint8), bitorder="little")
+        for shard in self._shards:
+            start = shard.word_start * _WORD_BITS
+            selected[shard.unique_start : shard.unique_stop] = bits[
+                start : start + shard.unique_count
+            ]
+        return selected
+
+    def _compute_match_mask(self, pattern) -> ShardedMask:
+        mask = self.full_mask()
+        indices = pattern.deterministic_indices()
+        if not self._fan_out or not indices:
+            for index in indices:
+                np.bitwise_and(mask, self._words[index][pattern[index]], out=mask)
+            return mask
+
+        def _chain_slice(shard: ShardInfo) -> None:
+            window = slice(shard.word_start, shard.word_stop)
+            for index in indices:
+                np.bitwise_and(
+                    mask[window],
+                    self._words[index][pattern[index]][window],
+                    out=mask[window],
+                )
+
+        self._map_shards(_chain_slice)
+        return mask

@@ -26,7 +26,7 @@ from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
 from repro.data.bitset import BitVector
 from repro.data.dataset import Dataset
-from repro.exceptions import EnhancementError
+from repro.exceptions import EnhancementError, ReproError
 
 
 @dataclass(frozen=True)
@@ -101,7 +101,19 @@ class _TargetIndex:
     ) -> None:
         self.targets = list(targets)
         self.space = space
-        self._packed = engine_name(engine) == "packed"
+        # Any bitset-family backend ("packed", "sharded", future variants)
+        # gets the packed target representation; only the dense reference
+        # keeps unpacked bool vectors.  Unnamed factory callables (valid
+        # per EngineSpec but carrying no registry name) default to packed —
+        # the choice only affects the mask representation, not results.
+        # Bad names and non-engine specs must still raise.
+        try:
+            name = engine_name(engine)
+        except ReproError:
+            if isinstance(engine, str) or not callable(engine):
+                raise
+            name = None
+        self._packed = name != "dense"
         m = len(self.targets)
         # vectors[i][v][j] == True iff target j can still be hit after
         # fixing attribute i to value v (its element is v or X).

@@ -40,10 +40,13 @@ def _engine_template(engine: EngineSpec) -> EngineSpec:
 
     The index rebuilds its oracle after every delivery/removal, so a
     prebuilt engine instance (bound to the initial dataset) is reduced to
-    its class; names and classes pass through.
+    its :meth:`~repro.core.engine.CoverageEngine.template` — the same
+    configuration (shard count, worker pool, cache capacity) on the new
+    dataset, with none of the old dataset's masks or cached state; names
+    and classes pass through.
     """
     if isinstance(engine, CoverageEngine):
-        return type(engine)
+        return engine.template()
     return engine
 
 

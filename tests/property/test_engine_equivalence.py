@@ -1,0 +1,191 @@
+"""Cross-engine observational-equivalence property suite (hypothesis).
+
+Every registered coverage engine — ``dense``, ``packed``, and ``sharded``
+at several shard counts, with the hot-mask cache both enabled and disabled
+— must give bit-identical answers on every query family: point coverage,
+batched ``count_many`` / ``coverage_many``, sibling families from
+``restrict_children``, and whole ``find_mups`` runs across all five
+identification algorithms.  The dense engine is the reference; everything
+else is compared against it.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.engine import (
+    DenseBoolEngine,
+    PackedBitsetEngine,
+    ShardedEngine,
+)
+from repro.core.mups.base import ALGORITHMS, find_mups
+from repro.core.pattern import Pattern, X
+from repro.data.dataset import Dataset, Schema
+
+#: Shard counts exercised: degenerate (1), even split, and more shards
+#: than some generated datasets have rows (exercising the clamp).
+SHARD_COUNTS = (1, 2, 7)
+
+ALL_ALGORITHMS = ("naive", "apriori", "pattern_breaker", "pattern_combiner", "deepdiver")
+
+
+@st.composite
+def datasets(draw, max_d: int = 4, max_card: int = 4, max_n: int = 40):
+    d = draw(st.integers(min_value=1, max_value=max_d))
+    cardinalities = draw(
+        st.lists(st.integers(min_value=1, max_value=max_card), min_size=d, max_size=d)
+    )
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    rows = [
+        [draw(st.integers(min_value=0, max_value=c - 1)) for c in cardinalities]
+        for _ in range(n)
+    ]
+    schema = Schema.of([f"A{i + 1}" for i in range(d)], cardinalities)
+    array = np.asarray(rows, dtype=np.int32).reshape(n, d)
+    return Dataset(schema, array)
+
+
+@st.composite
+def dataset_and_patterns(draw, max_patterns: int = 6):
+    dataset = draw(datasets())
+    k = draw(st.integers(min_value=0, max_value=max_patterns))
+    patterns = []
+    for _ in range(k):
+        values = [
+            draw(st.sampled_from([X] + list(range(c))))
+            for c in dataset.cardinalities
+        ]
+        patterns.append(Pattern(values))
+    return dataset, patterns
+
+
+def _engine_matrix(dataset, mask_cache_size):
+    """One engine per backend configuration under test, dense first."""
+    engines = [
+        DenseBoolEngine(dataset, mask_cache_size=mask_cache_size),
+        PackedBitsetEngine(dataset, mask_cache_size=mask_cache_size),
+    ]
+    for shards in SHARD_COUNTS:
+        engines.append(
+            ShardedEngine(dataset, shards=shards, mask_cache_size=mask_cache_size)
+        )
+    return engines
+
+
+@given(dataset_and_patterns(), st.sampled_from([0, 1024]))
+@settings(max_examples=40, deadline=None)
+def test_point_coverage_identical(case, cache_size):
+    dataset, patterns = case
+    reference, *others = _engine_matrix(dataset, cache_size)
+    for pattern in patterns:
+        expected = reference.coverage(pattern)
+        for engine in others:
+            assert engine.coverage(pattern) == expected, engine.name
+        # Re-query so cached configurations serve the mask from the cache.
+        for engine in [reference, *others]:
+            assert engine.coverage(pattern) == expected, engine.name
+
+
+@given(dataset_and_patterns(), st.sampled_from([0, 1024]))
+@settings(max_examples=40, deadline=None)
+def test_count_many_identical(case, cache_size):
+    dataset, patterns = case
+    reference, *others = _engine_matrix(dataset, cache_size)
+    expected = list(
+        reference.count_many([reference.match_mask(p) for p in patterns])
+    )
+    assert expected == [reference.coverage(p) for p in patterns]
+    for engine in others:
+        masks = [engine.match_mask(p) for p in patterns]
+        assert list(engine.count_many(masks)) == expected, engine.name
+        assert list(engine.coverage_many(patterns)) == expected, engine.name
+
+
+@given(dataset_and_patterns(), st.sampled_from([0, 16]))
+@settings(max_examples=30, deadline=None)
+def test_restrict_children_identical(case, cache_size):
+    dataset, patterns = case
+    reference, *others = _engine_matrix(dataset, cache_size)
+    for pattern in patterns:
+        free = pattern.nondeterministic_indices()
+        if not free:
+            continue
+        attribute = free[-1]
+        expected_family = [
+            reference.mask_to_bool(child)
+            for child in reference.restrict_children(
+                reference.match_mask(pattern), attribute
+            )
+        ]
+        for engine in others:
+            family = engine.restrict_children(
+                engine.match_mask(pattern), attribute
+            )
+            assert len(family) == dataset.cardinalities[attribute]
+            for child, expected in zip(family, expected_family):
+                assert np.array_equal(
+                    engine.mask_to_bool(child), expected
+                ), engine.name
+            # The sibling family partitions the parent's matches.
+            counts = engine.count_many(family)
+            assert int(counts.sum()) == engine.coverage(pattern), engine.name
+
+
+@given(datasets(max_d=3, max_card=3, max_n=25), st.sampled_from([0, 1024]))
+@settings(max_examples=15, deadline=None)
+def test_full_mup_runs_identical_across_all_algorithms(dataset, cache_size):
+    assert set(ALL_ALGORITHMS) == set(ALGORITHMS), "algorithm registry drifted"
+    for algorithm in ALL_ALGORITHMS:
+        reference = find_mups(
+            dataset,
+            threshold=2,
+            algorithm=algorithm,
+            engine=DenseBoolEngine(dataset, mask_cache_size=cache_size),
+        )
+        for engine in _engine_matrix(dataset, cache_size)[1:]:
+            result = find_mups(
+                dataset, threshold=2, algorithm=algorithm, engine=engine
+            )
+            assert result.as_set() == reference.as_set(), (
+                algorithm,
+                engine.name,
+            )
+
+
+@given(datasets(max_n=30))
+@settings(max_examples=20, deadline=None)
+def test_sharded_workers_match_serial(dataset):
+    serial = ShardedEngine(dataset, shards=3, workers=None)
+    pooled = ShardedEngine(dataset, shards=3, workers=2)
+    try:
+        patterns = [Pattern.root(dataset.d)]
+        for value in range(dataset.cardinalities[0]):
+            patterns.append(Pattern.root(dataset.d).with_value(0, value))
+        assert list(serial.coverage_many(patterns)) == list(
+            pooled.coverage_many(patterns)
+        )
+        family_serial = serial.restrict_children(serial.full_mask(), 0)
+        family_pooled = pooled.restrict_children(pooled.full_mask(), 0)
+        for a, b in zip(family_serial, family_pooled):
+            assert np.array_equal(serial.mask_to_bool(a), pooled.mask_to_bool(b))
+    finally:
+        pooled.close()
+
+
+@given(dataset_and_patterns())
+@settings(max_examples=25, deadline=None)
+def test_cached_masks_are_isolated_copies(case):
+    """Mutating a handed-out mask must not corrupt the cache."""
+    dataset, patterns = case
+    for engine in _engine_matrix(dataset, mask_cache_size=64)[:3]:
+        for pattern in patterns:
+            before = engine.coverage(pattern)
+            mask = engine.match_mask(pattern)
+            # Clobber the caller's copy in place (ndarray masks for dense
+            # and sharded, BitVector for packed).
+            if dataset.d >= 1 and dataset.cardinalities[0] >= 1:
+                if hasattr(mask, "iand"):
+                    mask.iand(engine.value_mask(0, 0))
+                else:
+                    mask &= engine.value_mask(0, 0)
+            assert engine.coverage(pattern) == before, engine.name

@@ -112,3 +112,78 @@ class TestErrors:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestEngineSelection:
+    @pytest.mark.parametrize("engine", ["packed", "sharded"])
+    def test_identify_output_identical_across_engines(self, csv_file, engine, capsys):
+        assert main(["identify", csv_file, "--threshold", "5"]) == 0
+        reference = capsys.readouterr().out
+        code = main(["identify", csv_file, "--threshold", "5", "--engine", engine])
+        assert code == 0
+        assert capsys.readouterr().out == reference
+
+    def test_identify_with_shards_and_workers(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "sharded",
+                "--shards",
+                "3",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "maximal uncovered pattern" in capsys.readouterr().out
+
+    def test_label_and_enhance_accept_sharded(self, csv_file, capsys):
+        assert (
+            main(
+                ["label", csv_file, "--threshold", "5", "--engine", "sharded"]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "enhance",
+                    csv_file,
+                    "--threshold",
+                    "5",
+                    "--level",
+                    "1",
+                    "--engine",
+                    "sharded",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+
+    def test_oversharding_is_clamped_not_an_error(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "sharded",
+                "--shards",
+                "100000",
+            ]
+        )
+        assert code == 0
+
+    def test_invalid_shard_count_returns_2(self, csv_file, capsys):
+        code = main(
+            ["identify", csv_file, "--threshold", "5", "--engine", "sharded", "--shards", "0"]
+        )
+        assert code == 2
+        assert "shard count" in capsys.readouterr().err

@@ -134,3 +134,72 @@ class TestMixedWorkload:
         result = index.as_result()
         assert result.as_set() == set(index.mups())
         assert result.threshold == 1
+
+
+class TestEngineCacheUnderMutation:
+    """Hot-mask caches must never serve answers from a pre-update dataset.
+
+    The index rebuilds its oracle (and therefore its engine) on every
+    delivery/removal, so cached masks from the old dataset are bypassed by
+    construction; these tests pin that contract down for every backend,
+    including prebuilt instances whose configuration must survive the
+    rebuild while their cached state must not.
+    """
+
+    @pytest.mark.parametrize("engine", ["dense", "packed", "sharded"])
+    def test_add_rows_after_cached_queries(self, engine):
+        dataset = random_categorical_dataset(40, (2, 2, 3), seed=13, skew=1.3)
+        tau = 4
+        index = IncrementalMupIndex(dataset, threshold=tau, engine=engine)
+        # Warm the hot-mask cache with repeated queries over the MUP set.
+        probes = list(index.mups()) + [Pattern.root(dataset.d)]
+        before = [index.coverage(p) for p in probes]
+        assert [index.coverage(p) for p in probes] == before
+        # Mutate: add rows matching the first probe region.
+        addition = [
+            tuple(0 if v < 0 else v for v in probes[0].values) for _ in range(tau)
+        ]
+        index.add_rows(addition)
+        # Every coverage answer must reflect the new dataset, not the cache.
+        oracle_fresh = find_mups(
+            index.dataset, threshold=tau, algorithm="naive", engine="dense"
+        )
+        assert set(index.mups()) == oracle_fresh.as_set()
+        for probe in probes:
+            fresh = int(
+                sum(1 for row in index.dataset.rows if probe.matches(row))
+            )
+            assert index.coverage(probe) == fresh
+
+    def test_remove_rows_after_cached_queries(self):
+        dataset = random_categorical_dataset(40, (2, 3, 2), seed=21, skew=1.0)
+        tau = 3
+        index = IncrementalMupIndex(dataset, threshold=tau, engine="sharded")
+        probes = [Pattern.root(dataset.d)] + list(index.mups())
+        for _ in range(3):  # drive queries into the cache-hit path
+            for probe in probes:
+                index.coverage(probe)
+        index.remove_rows(list(range(5)))
+        assert set(index.mups()) == scratch_mups(index.dataset, tau)
+        for probe in probes:
+            fresh = int(
+                sum(1 for row in index.dataset.rows if probe.matches(row))
+            )
+            assert index.coverage(probe) == fresh
+
+    def test_prebuilt_sharded_instance_config_survives_rebuild(self):
+        from repro.core.engine import ShardedEngine
+
+        dataset = random_categorical_dataset(30, (2, 2, 2), seed=8, skew=1.0)
+        engine = ShardedEngine(dataset, shards=3, mask_cache_size=16)
+        index = IncrementalMupIndex(dataset, threshold=2, engine=engine)
+        index.add_rows([(0, 0, 0), (1, 1, 1)])
+        rebuilt = index._oracle.engine
+        # Same configuration on the new dataset...
+        assert isinstance(rebuilt, ShardedEngine)
+        assert rebuilt is not engine
+        assert rebuilt.requested_shards == 3
+        assert rebuilt.mask_cache_size == 16
+        # ...with a cold cache (no state carried over from the old dataset).
+        assert rebuilt.dataset is index.dataset
+        assert set(index.mups()) == scratch_mups(index.dataset, 2)
