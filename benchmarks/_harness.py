@@ -39,5 +39,38 @@ def emit(figure: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
         json.dump(payload, handle, indent=2)
 
 
+def emit_bench(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    payload: dict,
+) -> Path:
+    """Print an engine benchmark's table and write its canonical artifact.
+
+    The single writer for every ``BENCH_*.json``: the table and the
+    machine-readable payload land in **one** ``BENCH_<name>.json`` under
+    ``benchmarks/results/`` (bench scripts must not write result files
+    themselves — two writers once produced divergent
+    ``bench_sharded.json`` / ``BENCH_sharded.json`` copies).
+    """
+    rows = [list(r) for r in rows]
+    print()
+    print(f"=== BENCH_{name} {title} ===")
+    print(format_table(headers, rows))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": rows,
+        **payload,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return path
+
+
 def fmt_rate(rate: float) -> str:
     return f"{rate:g}"

@@ -6,10 +6,8 @@ one-pass-per-query scan of Definition 2, and also quantifies the win from
 threading parent masks down the PATTERN-BREAKER tree.
 """
 
-import json
-
 import _config as config
-from _harness import RESULTS_DIR, emit, timed
+from _harness import emit, emit_bench, timed
 
 from repro.core.coverage import CoverageOracle, coverage_scan
 from repro.core.engine import ShardedEngine
@@ -132,29 +130,29 @@ def test_ablation_engine_comparison(benchmark):
             packed.engine.index_nbytes,
         ),
     ]
-    emit(
-        f"BENCH_engine dense vs packed coverage engines ({N_QUERIES} queries "
+    emit_bench(
+        "engine",
+        f"dense vs packed coverage engines ({N_QUERIES} queries "
         f"+ PATTERN-BREAKER, n={dataset.n} d={dataset.d})",
         ["engine", "seconds", "index bytes"],
         rows,
-    )
-    payload = {
-        "bench": "engine_comparison",
-        "n": dataset.n,
-        "d": dataset.d,
-        "unique": dense.unique_count,
-        "queries": N_QUERIES,
-        "tau": tau,
-        "dense": {"seconds": dense_seconds, "index_nbytes": dense.engine.index_nbytes},
-        "packed": {
-            "seconds": packed_seconds,
-            "index_nbytes": packed.engine.index_nbytes,
+        {
+            "n": dataset.n,
+            "d": dataset.d,
+            "unique": dense.unique_count,
+            "queries": N_QUERIES,
+            "tau": tau,
+            "dense": {
+                "seconds": dense_seconds,
+                "index_nbytes": dense.engine.index_nbytes,
+            },
+            "packed": {
+                "seconds": packed_seconds,
+                "index_nbytes": packed.engine.index_nbytes,
+            },
+            "packed_over_dense_time_ratio": packed_seconds / dense_seconds,
         },
-        "packed_over_dense_time_ratio": packed_seconds / dense_seconds,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    with open(RESULTS_DIR / "BENCH_engine.json", "w") as handle:
-        json.dump(payload, handle, indent=2)
+    )
     # The memory claim is deterministic; the time ratio is recorded in the
     # JSON (single-round wall clock is too noisy for a tight assertion — a
     # 2x bound only catches gross regressions).
@@ -212,7 +210,6 @@ def test_ablation_sharded_engine_comparison(benchmark):
 
     rows = []
     payload = {
-        "bench": "sharded_engine_comparison",
         "n": dataset.n,
         "d": dataset.d,
         "unique": oracles["dense"].unique_count,
@@ -239,16 +236,15 @@ def test_ablation_sharded_engine_comparison(benchmark):
     payload["sharded_over_packed_time_ratio"] = (
         seconds["sharded"] / seconds["packed"]
     )
-    emit(
-        f"BENCH_sharded dense vs packed vs sharded({SHARDS}) engines "
+    emit_bench(
+        "sharded",
+        f"dense vs packed vs sharded({SHARDS}) engines "
         f"({N_QUERIES} queries x2 + batched + PATTERN-BREAKER, "
         f"n={dataset.n} d={dataset.d})",
         ["engine", "seconds", "index bytes", "cache hit rate"],
         rows,
+        payload,
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    with open(RESULTS_DIR / "BENCH_sharded.json", "w") as handle:
-        json.dump(payload, handle, indent=2)
     # Repeated point queries must actually hit the hot-mask cache.
     for oracle in oracles.values():
         assert oracle.engine.cache_info()["hits"] >= N_QUERIES

@@ -16,7 +16,8 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from repro.analysis.nutrition import coverage_label
 from repro.analysis.report import enhancement_report, mup_report
@@ -24,7 +25,10 @@ from repro.core.coverage import CoverageOracle
 from repro.core.engine import (
     DEFAULT_ENGINE,
     DEFAULT_SHARDS,
+    DEFAULT_WORKERS_MODE,
     ENGINES,
+    WORKERS_MODES,
+    CoverageEngine,
     EngineSpec,
     resolve_engine,
 )
@@ -85,16 +89,39 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--shards",
         type=int,
-        default=DEFAULT_SHARDS,
+        default=None,
         help="shard count for --engine sharded (clamped to the number of "
-        "distinct value combinations)",
+        f"distinct value combinations; default {DEFAULT_SHARDS})",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="thread-pool size for --engine sharded shard fan-out "
+        help="worker-pool size for --engine sharded shard fan-out "
         "(default: evaluate shards serially)",
+    )
+    parser.add_argument(
+        "--workers-mode",
+        default=None,
+        choices=sorted(WORKERS_MODES),
+        help="shard fan-out pool (default "
+        f"{DEFAULT_WORKERS_MODE}): 'thread' works in every mode; 'process' "
+        "attaches child processes to the spill files by path (requires "
+        "--spill-dir; falls back to threads without fork support)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        help="run --engine sharded out-of-core: serialize shard blocks "
+        "into a unique subdirectory of this path and stream them via mmap "
+        "(removed when the run finishes)",
+    )
+    parser.add_argument(
+        "--max-resident-bytes",
+        type=int,
+        default=None,
+        help="byte budget for resident mmap shard slices with --spill-dir "
+        "(default: unlimited)",
     )
 
 
@@ -104,39 +131,80 @@ def _build_engine(args: argparse.Namespace, dataset: Dataset) -> EngineSpec:
     Only the sharded backend takes construction options, so the other
     names pass through untouched (their consumers build them on demand).
     """
-    if args.engine == "sharded":
-        return resolve_engine(
-            "sharded", dataset, shards=args.shards, workers=args.workers
-        )
-    return args.engine
+    if args.engine != "sharded":
+        if args.spill_dir is not None or args.max_resident_bytes is not None:
+            raise ReproError(
+                "--spill-dir / --max-resident-bytes require --engine sharded"
+            )
+        if args.shards is not None:
+            raise ReproError("--shards requires --engine sharded")
+        if args.workers is not None:
+            raise ReproError("--workers requires --engine sharded")
+        if args.workers_mode is not None:
+            raise ReproError("--workers-mode requires --engine sharded")
+        return args.engine
+    return resolve_engine(
+        "sharded",
+        dataset,
+        shards=args.shards if args.shards is not None else DEFAULT_SHARDS,
+        workers=args.workers,
+        workers_mode=(
+            args.workers_mode
+            if args.workers_mode is not None
+            else DEFAULT_WORKERS_MODE
+        ),
+        spill_dir=args.spill_dir,
+        max_resident_bytes=args.max_resident_bytes,
+    )
+
+
+@contextmanager
+def _engine_scope(
+    args: argparse.Namespace, dataset: Dataset
+) -> Iterator[EngineSpec]:
+    """Build the CLI-selected engine and close it when the command ends.
+
+    Built engine instances (the sharded configurations) are closed
+    explicitly so worker pools shut down and out-of-core spill directories
+    are removed when the run finishes, not whenever GC gets around to it;
+    plain registry names pass through untouched.
+    """
+    engine = _build_engine(args, dataset)
+    try:
+        yield engine
+    finally:
+        if isinstance(engine, CoverageEngine):
+            engine.close()
 
 
 def _cmd_identify(args: argparse.Namespace) -> int:
     dataset = _load_csv(args.csv, args.attributes)
-    # One oracle serves both the search and the report, so the inverted
-    # index is built once.
-    oracle = CoverageOracle(dataset, engine=_build_engine(args, dataset))
-    result = find_mups(
-        dataset,
-        threshold=args.threshold,
-        algorithm=args.algorithm,
-        max_level=args.max_level,
-        oracle=oracle,
-    )
-    print(mup_report(dataset, result, limit=args.limit, oracle=oracle))
+    with _engine_scope(args, dataset) as engine:
+        # One oracle serves both the search and the report, so the inverted
+        # index is built once.
+        oracle = CoverageOracle(dataset, engine=engine)
+        result = find_mups(
+            dataset,
+            threshold=args.threshold,
+            algorithm=args.algorithm,
+            max_level=args.max_level,
+            oracle=oracle,
+        )
+        print(mup_report(dataset, result, limit=args.limit, oracle=oracle))
     return 0
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
     dataset = _load_csv(args.csv, args.attributes)
-    label = coverage_label(
-        dataset,
-        threshold=args.threshold,
-        algorithm=args.algorithm,
-        max_level=args.max_level,
-        engine=_build_engine(args, dataset),
-    )
-    print(label.render())
+    with _engine_scope(args, dataset) as engine:
+        label = coverage_label(
+            dataset,
+            threshold=args.threshold,
+            algorithm=args.algorithm,
+            max_level=args.max_level,
+            engine=engine,
+        )
+        print(label.render())
     return 0
 
 
@@ -164,13 +232,14 @@ def _parse_rules(dataset: Dataset, texts: Sequence[str]) -> ValidationOracle:
 
 def _cmd_enhance(args: argparse.Namespace) -> int:
     dataset = _load_csv(args.csv, args.attributes)
-    result = find_mups(
-        dataset,
-        threshold=args.threshold,
-        algorithm=args.algorithm,
-        max_level=args.max_level,
-        engine=_build_engine(args, dataset),
-    )
+    with _engine_scope(args, dataset) as engine:
+        result = find_mups(
+            dataset,
+            threshold=args.threshold,
+            algorithm=args.algorithm,
+            max_level=args.max_level,
+            engine=engine,
+        )
     space = PatternSpace.for_dataset(dataset)
     targets = uncovered_at_level(result.mups, space, args.level)
     validation = _parse_rules(dataset, args.rule or [])
@@ -181,16 +250,17 @@ def _cmd_enhance(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = load_compas()
-    oracle = CoverageOracle(dataset, engine=_build_engine(args, dataset))
-    result = find_mups(
-        dataset,
-        threshold=args.threshold,
-        algorithm="deepdiver",
-        oracle=oracle,
-    )
-    print(dataset.describe())
-    print()
-    print(mup_report(dataset, result, limit=args.limit, oracle=oracle))
+    with _engine_scope(args, dataset) as engine:
+        oracle = CoverageOracle(dataset, engine=engine)
+        result = find_mups(
+            dataset,
+            threshold=args.threshold,
+            algorithm="deepdiver",
+            oracle=oracle,
+        )
+        print(dataset.describe())
+        print()
+        print(mup_report(dataset, result, limit=args.limit, oracle=oracle))
     return 0
 
 

@@ -2,7 +2,11 @@
 
 Importing this package registers every backend; select one by name
 (``"dense"`` / ``"packed"`` / ``"sharded"``) anywhere an ``engine=``
-argument or the CLI ``--engine`` flag is accepted.
+argument or the CLI ``--engine`` flag is accepted.  The sharded backend
+additionally runs out-of-core (``spill_dir=`` / ``max_resident_bytes=``)
+over an mmap-backed :class:`~repro.core.engine.mmapped.MmapShardStore`,
+with thread- or process-pool shard fan-out (``workers=`` /
+``workers_mode=``).
 """
 
 from repro.core.engine.base import (
@@ -16,18 +20,28 @@ from repro.core.engine.base import (
     resolve_engine,
 )
 from repro.core.engine.dense import DenseBoolEngine
+from repro.core.engine.mmapped import MmapShardStore, ShardStoreWriter
 from repro.core.engine.packed import PackedBitsetEngine
-from repro.core.engine.sharded import DEFAULT_SHARDS, ShardedEngine
+from repro.core.engine.sharded import (
+    DEFAULT_SHARDS,
+    DEFAULT_WORKERS_MODE,
+    WORKERS_MODES,
+    ShardedEngine,
+)
 
 __all__ = [
     "CoverageEngine",
     "DenseBoolEngine",
     "PackedBitsetEngine",
     "ShardedEngine",
+    "MmapShardStore",
+    "ShardStoreWriter",
     "ENGINES",
     "DEFAULT_ENGINE",
     "DEFAULT_MASK_CACHE",
     "DEFAULT_SHARDS",
+    "DEFAULT_WORKERS_MODE",
+    "WORKERS_MODES",
     "EngineSpec",
     "engine_name",
     "register_engine",

@@ -22,7 +22,11 @@ when row identities are needed).  Three backends are registered:
   word-level popcount (8× smaller index, word-at-a-time ANDs);
 * ``sharded`` — :class:`~repro.core.engine.sharded.ShardedEngine`, the
   packed index partitioned row-wise into K shards whose per-shard kernels
-  are reduced (optionally on a worker pool) into global answers.
+  are reduced (optionally on a worker pool) into global answers; with
+  ``spill_dir=`` the shard blocks live in an mmap-backed spill directory
+  (:class:`~repro.core.engine.mmapped.MmapShardStore`) behind a
+  byte-budgeted LRU loader, and ``workers_mode="process"`` fans the
+  kernels out over a process pool attached to those files by path.
 
 The base class also layers a **hot-mask LRU cache** over ``match_mask``:
 repeated frontier evaluations (PATTERN-BREAKER re-visits, enhancement
@@ -168,6 +172,24 @@ class CoverageEngine(ABC):
     @abstractmethod
     def mask_to_bool(self, mask: Mask) -> np.ndarray:
         """The mask as a boolean array over the unique combinations."""
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine-held resources (worker pools, spill files…).
+
+        A no-op for in-memory backends; the sharded engine overrides it.
+        Consumers that rebuild engines (e.g. the incremental index) close
+        the old one so spill directories and pools are reclaimed promptly
+        instead of waiting for garbage collection.
+        """
+
+    def __enter__(self) -> "CoverageEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # mask copying (cache safety)

@@ -1,0 +1,651 @@
+"""Out-of-core shard storage for the sharded coverage engine.
+
+The sharded engine's unit of work is a shard: a contiguous, word-aligned
+window of one flat packed word space.  This module makes that unit the
+load/evict unit of an out-of-core index:
+
+* :class:`ShardStoreWriter` serializes each shard as it is built — one
+  ``.npy`` file holding the shard's stacked ``(sum(c_i), W_j)`` membership
+  words (every attribute-value row side by side) plus, for datasets with
+  duplicate rows, one ``.npy`` file with the shard's padded multiplicity
+  vector — and finishes with a small ``manifest.json`` describing the
+  layout, so the full index never has to exist in memory.
+* :class:`MmapShardStore` opens those files read-only via ``np.memmap``
+  and hands shards out through a byte-budgeted LRU loader
+  (``max_resident_bytes=``): coverage queries stream over shards the
+  hardware cannot hold at once, and the loader's instrumentation
+  (:meth:`MmapShardStore.stats`) proves it.
+
+Because the shard files are immutable and addressed by path, they are also
+the substrate for **process-pool fan-out**: a child process attaches to the
+spill directory by path (no pickling of word arrays) and runs the same
+per-shard kernels; :func:`run_shard_op` is the module-level entry point the
+pool executes.  Results reduce in deterministic shard order, so answers are
+bit-for-bit identical to the serial path.
+
+Spill directory layout::
+
+    <spill_dir>/<unique subdir>/
+        manifest.json           # format, layout, dataset fingerprint
+        shard_0000.words.npy    # (sum(c_i), W_0) uint64
+        shard_0000.counts.npy   # (W_0 * 64,) int64 — absent when uniform
+        shard_0001.words.npy
+        ...
+
+The manifest is written last (atomically), so a directory without one is an
+incomplete spill and is rejected with a clear :class:`EngineError` — as is
+any missing, truncated, or corrupted shard file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import weakref
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.bitset import weighted_count, weighted_count_rows
+from repro.exceptions import EngineError
+
+_WORD_BITS = 64
+
+#: Manifest format tag; bumped on incompatible layout changes.
+MANIFEST_FORMAT = "repro-shard-store/v1"
+
+MANIFEST_NAME = "manifest.json"
+
+#: Top-level fields every manifest must carry.
+_MANIFEST_KEYS = (
+    "uniform",
+    "total_words",
+    "cardinalities",
+    "row_offsets",
+    "dataset",
+    "shards",
+)
+
+#: Fields every per-shard manifest entry must carry.
+_SHARD_ENTRY_KEYS = (
+    "id",
+    "words_file",
+    "words_shape",
+    "words_size",
+    "counts_file",
+    "counts_shape",
+    "counts_size",
+    "word_start",
+    "word_stop",
+    "unique_start",
+    "unique_stop",
+    "row_count",
+)
+
+
+# ----------------------------------------------------------------------
+# pure per-shard kernels (shared by serial, thread, and process paths);
+# the counting kernels are the bitset module's weighted_count /
+# weighted_count_rows, shared with the packed engine.
+# ----------------------------------------------------------------------
+def and_rows(window: np.ndarray, words: np.ndarray, rows: Sequence[int]) -> np.ndarray:
+    """``window AND words[r0] AND words[r1] …`` — a chained restriction."""
+    if not rows or words.shape[1] == 0:
+        return np.array(window, dtype=np.uint64, copy=True)
+    # Fancy indexing copies the selected rows out of the (possibly mmapped)
+    # block, so the reduction runs over plain memory.
+    acc = np.bitwise_and.reduce(words[list(rows)], axis=0)
+    return np.bitwise_and(window, acc)
+
+
+def and_family(window: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """``window AND`` every row of ``block`` — one sibling family."""
+    return np.bitwise_and(window[np.newaxis, :], block)
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class ShardStoreWriter:
+    """Streams shard blocks to a spill directory, one shard at a time.
+
+    Args:
+        directory: the spill directory to populate.  Created if missing;
+            refuses a directory that already holds a manifest.
+        cardinalities: the dataset's attribute cardinalities (fixes the
+            stacked row layout: attribute ``i``'s value rows occupy
+            ``offsets[i]:offsets[i+1]`` of every shard block).
+        uniform: True when every multiplicity is 1; no counts files are
+            written and counting is pure popcount.
+        dataset_meta: identification record stored in the manifest
+            (``n`` / ``d`` / ``unique`` / ``fingerprint``) and validated on
+            attach.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        cardinalities: Sequence[int],
+        uniform: bool,
+        dataset_meta: Dict[str, Any],
+    ) -> None:
+        self._path = Path(directory)
+        self._path.mkdir(parents=True, exist_ok=True)
+        if (self._path / MANIFEST_NAME).exists():
+            raise EngineError(
+                f"spill directory {self._path} already holds a shard store"
+            )
+        self._cardinalities = [int(c) for c in cardinalities]
+        self._uniform = bool(uniform)
+        self._dataset_meta = dict(dataset_meta)
+        self._entries: List[Dict[str, Any]] = []
+        self._word_offset = 0
+        self._finished = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def add_shard(
+        self,
+        words: np.ndarray,
+        counts: Optional[np.ndarray],
+        *,
+        unique_start: int,
+        unique_stop: int,
+        row_count: int,
+    ) -> None:
+        """Serialize one shard block (``(sum(c_i), W_j)`` words + counts)."""
+        if self._finished:
+            raise EngineError("shard store writer already finished")
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[0] != sum(self._cardinalities):
+            raise EngineError(
+                f"shard block must be (sum(c_i), W); got shape {words.shape}"
+            )
+        shard_id = len(self._entries)
+        words_file = f"shard_{shard_id:04d}.words.npy"
+        np.save(self._path / words_file, words)
+        entry: Dict[str, Any] = {
+            "id": shard_id,
+            "words_file": words_file,
+            "words_shape": [int(s) for s in words.shape],
+            "words_size": int((self._path / words_file).stat().st_size),
+            "counts_file": None,
+            "counts_shape": None,
+            "counts_size": 0,
+            "word_start": self._word_offset,
+            "word_stop": self._word_offset + int(words.shape[1]),
+            "unique_start": int(unique_start),
+            "unique_stop": int(unique_stop),
+            "row_count": int(row_count),
+        }
+        if not self._uniform:
+            if counts is None:
+                raise EngineError("non-uniform store requires shard counts")
+            counts = np.ascontiguousarray(counts, dtype=np.int64)
+            counts_file = f"shard_{shard_id:04d}.counts.npy"
+            np.save(self._path / counts_file, counts)
+            entry["counts_file"] = counts_file
+            entry["counts_shape"] = [int(counts.shape[0])]
+            entry["counts_size"] = int((self._path / counts_file).stat().st_size)
+        self._entries.append(entry)
+        self._word_offset = entry["word_stop"]
+
+    def finish(
+        self, max_resident_bytes: Optional[int] = None, owns_files: bool = True
+    ) -> "MmapShardStore":
+        """Write the manifest (atomically, last) and open the store."""
+        if self._finished:
+            raise EngineError("shard store writer already finished")
+        self._finished = True
+        offsets = np.concatenate(
+            [[0], np.cumsum(self._cardinalities, dtype=np.int64)]
+        )
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "uniform": self._uniform,
+            "word_bits": _WORD_BITS,
+            "total_words": self._word_offset,
+            "cardinalities": self._cardinalities,
+            "row_offsets": [int(o) for o in offsets],
+            "dataset": self._dataset_meta,
+            "shards": self._entries,
+        }
+        tmp = self._path / (MANIFEST_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+        os.replace(tmp, self._path / MANIFEST_NAME)
+        return MmapShardStore(
+            self._path,
+            manifest,
+            max_resident_bytes=max_resident_bytes,
+            owns_files=owns_files,
+        )
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+class _Resident(NamedTuple):
+    words: np.ndarray
+    counts: Optional[np.ndarray]
+    nbytes: int
+
+
+def _remove_tree(path: str) -> None:
+    shutil.rmtree(path, ignore_errors=True)
+
+
+class MmapShardStore:
+    """Read-only mmap access to a spill directory, behind an LRU loader.
+
+    Shards are loaded on demand with ``np.memmap`` and kept resident until
+    the byte budget (``max_resident_bytes``; ``None`` = unlimited) forces
+    LRU eviction.  A shard larger than the whole budget still loads (the
+    store degrades to one resident shard instead of failing) and is counted
+    in ``over_budget_loads``.
+
+    Thread-safe: the thread-pool fan-out path loads shards concurrently.
+    Use :meth:`MmapShardStore.open` to attach to an existing directory;
+    :class:`ShardStoreWriter` builds new ones.
+    """
+
+    def __init__(
+        self,
+        path,
+        manifest: Dict[str, Any],
+        max_resident_bytes: Optional[int] = None,
+        owns_files: bool = False,
+    ) -> None:
+        if max_resident_bytes is not None:
+            max_resident_bytes = int(max_resident_bytes)
+            if max_resident_bytes < 1:
+                raise EngineError(
+                    f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
+                )
+        self._path = Path(path)
+        self._manifest = manifest
+        self._max_resident = max_resident_bytes
+        self._owns = bool(owns_files)
+        self._lock = threading.Lock()
+        self._resident: "OrderedDict[int, _Resident]" = OrderedDict()
+        self._resident_bytes = 0
+        self._closed = False
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+        self.over_budget_loads = 0
+        self.peak_resident_bytes = 0
+        # GC safety net: an abandoned owned store still removes its spill
+        # files at collection / interpreter exit.
+        self._finalizer = (
+            weakref.finalize(self, _remove_tree, str(self._path))
+            if self._owns
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory,
+        max_resident_bytes: Optional[int] = None,
+        owns_files: bool = False,
+    ) -> "MmapShardStore":
+        """Attach to an existing spill directory via its manifest.
+
+        Validates the manifest format and every shard file's size up front,
+        so truncation is reported as a clear :class:`EngineError` instead of
+        garbage coverage results.
+        """
+        path = Path(directory)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise EngineError(
+                f"{path} is not a shard store (no {MANIFEST_NAME}; "
+                f"incomplete spill directories are rejected)"
+            )
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise EngineError(
+                f"unreadable shard-store manifest {manifest_path}: {error}"
+            ) from error
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise EngineError(
+                f"unsupported shard-store format {manifest.get('format')!r} "
+                f"in {manifest_path}; expected {MANIFEST_FORMAT!r}"
+            )
+        # Hand-edited or differently-versioned manifests must fail with a
+        # clear error here, not a KeyError deep in a query.
+        missing = [key for key in _MANIFEST_KEYS if key not in manifest]
+        if missing or not isinstance(manifest["shards"], list):
+            raise EngineError(
+                f"malformed shard-store manifest {manifest_path}: "
+                f"missing or invalid fields {missing or ['shards']}"
+            )
+        for entry in manifest["shards"]:
+            bad = not isinstance(entry, dict) or any(
+                key not in entry for key in _SHARD_ENTRY_KEYS
+            )
+            if bad:
+                raise EngineError(
+                    f"malformed shard-store manifest {manifest_path}: "
+                    f"incomplete shard entry {entry!r}"
+                )
+        store = cls(
+            path,
+            manifest,
+            max_resident_bytes=max_resident_bytes,
+            owns_files=owns_files,
+        )
+        rows = sum(manifest["cardinalities"])
+        for entry in manifest["shards"]:
+            # The block shapes must agree with the word windows the kernels
+            # slice by, and the word windows with the packed width of the
+            # unique spans — or a self-consistent corrupted manifest lands
+            # bits at wrong offsets / broadcasts into silently wrong
+            # answers instead of an error.
+            width = entry["word_stop"] - entry["word_start"]
+            unique_span = entry["unique_stop"] - entry["unique_start"]
+            if width != (unique_span + _WORD_BITS - 1) // _WORD_BITS:
+                raise EngineError(
+                    f"shard {entry['id']} of {path} spans {unique_span} "
+                    f"unique combinations but {width} mask words; the "
+                    f"packed layout requires "
+                    f"{(unique_span + _WORD_BITS - 1) // _WORD_BITS}"
+                )
+            if entry["words_shape"] != [rows, width]:
+                raise EngineError(
+                    f"shard {entry['id']} of {path} has block shape "
+                    f"{entry['words_shape']}, but its manifest word window "
+                    f"requires {[rows, width]}"
+                )
+            store._check_file(entry["words_file"], entry["words_size"])
+            if entry["counts_file"] is not None:
+                if entry["counts_shape"] != [width * _WORD_BITS]:
+                    raise EngineError(
+                        f"shard {entry['id']} of {path} has counts shape "
+                        f"{entry['counts_shape']}, but its manifest word "
+                        f"window requires {[width * _WORD_BITS]}"
+                    )
+                store._check_file(entry["counts_file"], entry["counts_size"])
+        return store
+
+    def _check_file(self, filename: str, expected_size: int) -> None:
+        file_path = self._path / filename
+        try:
+            actual = file_path.stat().st_size
+        except OSError as error:
+            raise EngineError(f"missing shard file {file_path}") from error
+        if actual != expected_size:
+            raise EngineError(
+                f"shard file {file_path} is truncated or corrupted "
+                f"({actual} bytes on disk, manifest records {expected_size})"
+            )
+
+    # ------------------------------------------------------------------
+    # manifest accessors
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        return self._manifest
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._manifest["shards"])
+
+    @property
+    def uniform(self) -> bool:
+        return bool(self._manifest["uniform"])
+
+    @property
+    def total_words(self) -> int:
+        return int(self._manifest["total_words"])
+
+    @property
+    def row_offsets(self) -> List[int]:
+        """Stacked-block start row of each attribute (length ``d + 1``)."""
+        return list(self._manifest["row_offsets"])
+
+    def shard_nbytes(self, shard_id: int) -> int:
+        """Bytes the shard occupies when resident (words + counts)."""
+        entry = self._manifest["shards"][shard_id]
+        rows, words = entry["words_shape"]
+        nbytes = rows * words * 8
+        if entry["counts_shape"] is not None:
+            nbytes += entry["counts_shape"][0] * 8
+        return nbytes
+
+    @property
+    def data_nbytes(self) -> int:
+        """On-disk index bytes (word + count payloads, headers excluded)."""
+        return sum(
+            self.shard_nbytes(shard_id) for shard_id in range(self.shard_count)
+        )
+
+    @property
+    def words_nbytes(self) -> int:
+        """On-disk membership-word bytes only (the in-memory engines'
+        ``index_nbytes`` counts words, not multiplicities — same basis)."""
+        total = 0
+        for entry in self._manifest["shards"]:
+            rows, words = entry["words_shape"]
+            total += rows * words * 8
+        return total
+
+    @property
+    def max_resident_bytes(self) -> Optional[int]:
+        return self._max_resident
+
+    # ------------------------------------------------------------------
+    # the loader
+    # ------------------------------------------------------------------
+    def shard(self, shard_id: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """The shard's ``(words, counts)`` arrays, loading and evicting as
+        needed (``counts`` is ``None`` for uniform stores)."""
+        with self._lock:
+            if self._closed:
+                raise EngineError(f"shard store {self._path} is closed")
+            entry = self._resident.get(shard_id)
+            if entry is not None:
+                self.hits += 1
+                self._resident.move_to_end(shard_id)
+                return entry.words, entry.counts
+            meta = self._manifest["shards"][shard_id]
+        # The disk opens run outside the lock so pool threads load shards
+        # concurrently; only the LRU bookkeeping below serializes.
+        words = self._open_array(
+            meta["words_file"], tuple(meta["words_shape"]), np.uint64
+        )
+        counts = None
+        if meta["counts_file"] is not None:
+            counts = self._open_array(
+                meta["counts_file"], tuple(meta["counts_shape"]), np.int64
+            )
+        nbytes = words.nbytes + (counts.nbytes if counts is not None else 0)
+        with self._lock:
+            if self._closed:
+                raise EngineError(f"shard store {self._path} is closed")
+            entry = self._resident.get(shard_id)
+            if entry is not None:
+                # Another thread loaded it while we read; keep theirs.
+                self.hits += 1
+                self._resident.move_to_end(shard_id)
+                return entry.words, entry.counts
+            self.loads += 1
+            if self._max_resident is not None:
+                while (
+                    self._resident
+                    and self._resident_bytes + nbytes > self._max_resident
+                ):
+                    _, evicted = self._resident.popitem(last=False)
+                    self._resident_bytes -= evicted.nbytes
+                    self.evictions += 1
+                if nbytes > self._max_resident:
+                    self.over_budget_loads += 1
+            self._resident[shard_id] = _Resident(words, counts, nbytes)
+            self._resident_bytes += nbytes
+            self.peak_resident_bytes = max(
+                self.peak_resident_bytes, self._resident_bytes
+            )
+            return words, counts
+
+    def _open_array(
+        self, filename: str, expected_shape: Tuple[int, ...], expected_dtype
+    ) -> np.ndarray:
+        path = self._path / filename
+        try:
+            # A zero-size payload cannot be mmapped; plain load is exact.
+            if 0 in expected_shape:
+                array = np.load(path)
+            else:
+                array = np.load(path, mmap_mode="r")
+        except (OSError, ValueError, EOFError) as error:
+            raise EngineError(
+                f"corrupted shard file {path}: {error}"
+            ) from error
+        if array.shape != expected_shape or array.dtype != np.dtype(expected_dtype):
+            raise EngineError(
+                f"shard file {path} does not match its manifest "
+                f"(got {array.dtype}{array.shape}, expected "
+                f"{np.dtype(expected_dtype)}{expected_shape})"
+            )
+        return array
+
+    def stats(self) -> Dict[str, Any]:
+        """Loader instrumentation: loads/hits/evictions and residency."""
+        with self._lock:
+            return {
+                "loads": self.loads,
+                "hits": self.hits,
+                "evictions": self.evictions,
+                "over_budget_loads": self.over_budget_loads,
+                "resident_shards": len(self._resident),
+                "resident_bytes": self._resident_bytes,
+                "peak_resident_bytes": self.peak_resident_bytes,
+                "max_resident_bytes": self._max_resident,
+                "shard_count": self.shard_count,
+            }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def owns_files(self) -> bool:
+        """True when closing the store deletes its spill directory."""
+        return self._owns
+
+    def close(self) -> None:
+        """Release resident mmaps; delete the spill directory when owned."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._resident.clear()
+            self._resident_bytes = 0
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._owns:
+            _remove_tree(str(self._path))
+
+
+# ----------------------------------------------------------------------
+# process-pool fan-out
+# ----------------------------------------------------------------------
+#: Per-process cache of attached stores, keyed by spill path.  Children
+#: attach by path — no word arrays ever cross the process boundary.
+_WORKER_STORES: Dict[str, MmapShardStore] = {}
+
+
+def worker_attach(path: str, max_resident_bytes: Optional[int] = None) -> None:
+    """Pool initializer: open the spill directory once per child process.
+
+    The resident budget applies per process — each child streams its shards
+    under its own ``max_resident_bytes`` ceiling.  A cached store that was
+    closed, whose directory was replaced, or that was opened under a
+    different budget (e.g. inherited across ``fork`` from an in-process
+    fallback attach) is re-opened rather than served stale.
+    """
+    existing = _WORKER_STORES.get(path)
+    if (
+        existing is None
+        or existing.closed
+        or existing.max_resident_bytes != max_resident_bytes
+    ):
+        _WORKER_STORES[path] = MmapShardStore.open(
+            path, max_resident_bytes=max_resident_bytes
+        )
+
+
+#: Shard-op payloads (all small: mask windows, row ids — never the index).
+ShardOp = Tuple[str, int, str, Any]
+
+
+def apply_shard_op(
+    op: str, payload: Any, words: np.ndarray, counts: Optional[np.ndarray]
+):
+    """Dispatch one per-shard kernel over the shard's loaded arrays.
+
+    The single dispatch shared by the serial, thread-pool, and
+    process-pool paths, so the three evaluation modes cannot diverge.
+    Ops:
+
+    * ``"count"`` — payload = mask window → weighted count (int);
+    * ``"count_rows"`` — payload = ``(k, W_j)`` mask matrix window →
+      per-row weighted counts;
+    * ``"match"`` — payload = ``(start window, index row ids)`` → the
+      window after chained AND of the rows;
+    * ``"children"`` — payload = ``(mask window, row_start, row_stop)`` →
+      the ``(c, W_j)`` sibling-family window.
+    """
+    if op == "count":
+        return weighted_count(payload, counts)
+    if op == "count_rows":
+        return weighted_count_rows(payload, counts)
+    if op == "match":
+        window, rows = payload
+        return and_rows(window, words, rows)
+    if op == "children":
+        window, row_start, row_stop = payload
+        return and_family(window, words[row_start:row_stop])
+    raise EngineError(f"unknown shard op {op!r}")
+
+
+def run_shard_op(args: ShardOp):
+    """Execute one per-shard kernel in a pool worker (or in-process).
+
+    ``args`` is ``(spill_path, shard_id, op, payload)``; the index words are
+    read from the attached store, so only mask windows and row ids are ever
+    pickled.  Pool workers are attached by the :func:`worker_attach`
+    initializer, which carries the engine's per-process resident budget;
+    the lazy attach below is a fallback for in-process callers and opens
+    the store with an unlimited budget.  Ops are dispatched through
+    :func:`apply_shard_op`.
+    """
+    path, shard_id, op, payload = args
+    store = _WORKER_STORES.get(path)
+    if store is None or store.closed:
+        # Unlike the initializer, the fallback states no budget intent, so
+        # it must not clobber a pool-attached store's configured budget.
+        store = _WORKER_STORES[path] = MmapShardStore.open(path)
+    words, counts = store.shard(shard_id)
+    return apply_shard_op(op, payload, words, counts)

@@ -22,7 +22,7 @@ from repro.core.engine.base import (
     CoverageEngine,
     register_engine,
 )
-from repro.data.bitset import BitVector, popcount_words
+from repro.data.bitset import BitVector, weighted_count, weighted_count_rows
 from repro.data.dataset import Dataset
 
 _WORD_BITS = 64
@@ -73,12 +73,9 @@ class PackedBitsetEngine(CoverageEngine):
     # ------------------------------------------------------------------
     def _count_word_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """Weighted count of each row of a ``(k, W)`` word matrix."""
-        if self._uniform:
-            return popcount_words(matrix).sum(axis=1, dtype=np.int64)
-        if matrix.shape[1] == 0:
-            return np.zeros(matrix.shape[0], dtype=np.int64)
-        bits = np.unpackbits(matrix.view(np.uint8), axis=1, bitorder="little")
-        return bits @ self._counts_padded
+        return weighted_count_rows(
+            matrix, None if self._uniform else self._counts_padded
+        )
 
     # ------------------------------------------------------------------
     # packed-representation accessors (the sharded engine builds on these)
@@ -122,11 +119,7 @@ class PackedBitsetEngine(CoverageEngine):
     def count(self, mask: BitVector) -> int:
         if self._uniform:
             return mask.count()
-        words = mask.words
-        if words.size == 0:
-            return 0
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-        return int(bits @ self._counts_padded)
+        return weighted_count(mask.words, self._counts_padded)
 
     def count_many(self, masks: Sequence[BitVector]) -> np.ndarray:
         if not len(masks):

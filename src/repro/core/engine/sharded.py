@@ -11,28 +11,42 @@ Each shard is indexed by an inner
 :class:`~repro.core.engine.packed.PackedBitsetEngine`; the shard word
 blocks are laid out side by side in one flat ``uint64`` word space, so a
 mask is a single word array in which shard ``j`` owns a contiguous,
-word-aligned slice:
+word-aligned slice.  The engine runs in one of two storage modes:
 
-* **serial** queries run the fused packed kernels over the whole flat
-  array — one ``bitwise_and`` / popcount per query family, so a K-shard
-  engine costs the same numpy dispatch as the unsharded one (plus at most
-  K-1 words of shard-boundary padding);
-* with ``workers=`` the same kernels run per shard slice on a thread pool
-  (numpy releases the GIL inside the bitwise/popcount loops) and the
-  per-shard partial counts are reduced in shard order, so results are
-  bit-for-bit identical to the serial path.
+* **in-memory** (default): the flat index is resident.  Serial queries run
+  the fused packed kernels over the whole flat array — one ``bitwise_and``
+  / popcount per query family — and with ``workers=`` the same kernels run
+  per shard slice on a thread pool (numpy releases the GIL inside the
+  bitwise/popcount loops), reduced in shard order.
+* **out-of-core** (``spill_dir=``): shard word blocks are serialized to a
+  spill directory as they are built and queried through an
+  :class:`~repro.core.engine.mmapped.MmapShardStore` — ``np.memmap``-backed
+  shard slices behind a byte-budgeted LRU loader (``max_resident_bytes=``),
+  so coverage queries stream over an index the hardware cannot hold at
+  once.  Masks stay resident (one bit per unique combination); only the
+  index words and multiplicity vectors spill.  Because the shard files are
+  immutable and addressed by path, ``workers_mode="process"`` fans the
+  per-shard kernels out over a ``ProcessPoolExecutor`` whose children
+  attach to the mmap files by path (no pickling of word arrays), falling
+  back to threads on platforms without ``fork``.  Results reduce in
+  deterministic shard order in every mode, so answers are bit-for-bit
+  identical.
 
-Shard slices are exactly the unit the roadmap's mmap-backed out-of-core
-index will load and evict: every kernel below already touches one shard's
-words through its ``(word_start, word_stop)`` window only.
+Use :meth:`ShardedEngine.attach` to re-open an existing spill directory
+from its manifest (e.g. after a crash) without re-serializing the index.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import shutil
+import sys
+import tempfile
 import weakref
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -41,13 +55,26 @@ from repro.core.engine.base import (
     CoverageEngine,
     register_engine,
 )
+from repro.core.engine.mmapped import (
+    MmapShardStore,
+    ShardStoreWriter,
+    apply_shard_op,
+    run_shard_op,
+    worker_attach,
+)
 from repro.core.engine.packed import PackedBitsetEngine
-from repro.data.bitset import popcount_words
+from repro.data.bitset import BitVector, weighted_count, weighted_count_rows
 from repro.data.dataset import Dataset
-from repro.exceptions import ReproError
+from repro.exceptions import EngineError, ReproError
 
 #: Default number of shards when none is requested.
 DEFAULT_SHARDS = 4
+
+#: Worker fan-out modes for ``workers=``.
+WORKERS_MODES = ("thread", "process")
+
+#: Default fan-out mode (threads work in every storage mode).
+DEFAULT_WORKERS_MODE = "thread"
 
 _WORD_BITS = 64
 
@@ -55,6 +82,34 @@ _T = TypeVar("_T")
 
 #: A sharded mask: one flat ``uint64`` word array over all shard slices.
 ShardedMask = np.ndarray
+
+
+def _dataset_meta(dataset: Dataset, unique_total: int) -> Dict[str, Any]:
+    """The dataset-identity record a spill manifest stores.
+
+    One definition for both sides of the contract: :meth:`ShardedEngine`'s
+    builder writes it and ``attach`` validates it field by field.
+    """
+    return {
+        "n": dataset.n,
+        "d": dataset.d,
+        "cardinalities": [int(c) for c in dataset.cardinalities],
+        "unique": unique_total,
+        "fingerprint": dataset.content_fingerprint(),
+    }
+
+
+def _fork_available() -> bool:
+    """Whether this platform can safely fork pool workers.
+
+    Linux only: macOS lists ``fork`` but forking a multithreaded parent is
+    documented-unsafe there (CoreFoundation state can crash or hang the
+    children), so it takes the thread fallback along with the platforms
+    that have no ``fork`` at all.
+    """
+    return sys.platform.startswith("linux") and (
+        "fork" in multiprocessing.get_all_start_methods()
+    )
 
 
 @dataclass(frozen=True)
@@ -67,6 +122,7 @@ class ShardInfo:
     arrays are derivable from the bounds, so no per-shard copies exist.
     """
 
+    index: int  #: shard id (position in shard order; spill-store key)
     row_count: int  #: number of dataset rows (with duplicates) in the shard
     unique_start: int  #: first global unique-combination index of the shard
     unique_stop: int  #: one past the shard's last unique-combination index
@@ -89,12 +145,21 @@ class ShardedEngine(CoverageEngine):
         shards: requested shard count; clamped to the number of distinct
             value combinations (an empty dataset keeps one empty shard) so
             over-sharding degrades gracefully instead of crashing.
-        workers: fan the per-shard kernels out over a thread pool of this
-            size; ``None`` (default) runs the fused serial kernels.
-            Results are identical either way — shard answers are reduced
-            in shard order.
+        workers: fan the per-shard kernels out over a pool of this size;
+            ``None`` (default) runs the fused serial kernels.  Results are
+            identical either way — shard answers are reduced in shard order.
+        workers_mode: ``"thread"`` (default) runs fan-out on a thread pool;
+            ``"process"`` runs it on a process pool whose children attach
+            to the spill files by path (requires ``spill_dir=``; falls back
+            to threads on platforms without ``fork``).
         mask_cache_size: capacity of the hot-mask LRU cache layered over
             ``match_mask`` (see :class:`CoverageEngine`).
+        spill_dir: enable the out-of-core mode — shard blocks are
+            serialized into a fresh unique subdirectory of this root (owned
+            by the engine and deleted on :meth:`close` / garbage
+            collection) and queried via ``np.memmap``.
+        max_resident_bytes: byte budget for resident (mmap-opened) shard
+            slices in the out-of-core mode; ``None`` means unlimited.
     """
 
     name = "sharded"
@@ -105,6 +170,10 @@ class ShardedEngine(CoverageEngine):
         shards: int = DEFAULT_SHARDS,
         workers: Optional[int] = None,
         mask_cache_size: int = DEFAULT_MASK_CACHE,
+        spill_dir: Optional[str] = None,
+        max_resident_bytes: Optional[int] = None,
+        workers_mode: str = DEFAULT_WORKERS_MODE,
+        _attach_store: Optional[MmapShardStore] = None,
     ) -> None:
         super().__init__(dataset, mask_cache_size=mask_cache_size)
         shards = int(shards)
@@ -114,31 +183,125 @@ class ShardedEngine(CoverageEngine):
             workers = int(workers)
             if workers < 1:
                 raise ReproError(f"worker count must be >= 1, got {workers}")
+        if workers_mode not in WORKERS_MODES:
+            raise ReproError(
+                f"workers_mode must be one of {WORKERS_MODES}, got {workers_mode!r}"
+            )
+        out_of_core = spill_dir is not None or _attach_store is not None
+        if max_resident_bytes is not None:
+            max_resident_bytes = int(max_resident_bytes)
+            if max_resident_bytes < 1:
+                raise ReproError(
+                    f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
+                )
+            if not out_of_core:
+                raise ReproError(
+                    "max_resident_bytes requires the out-of-core mode "
+                    "(pass spill_dir=)"
+                )
+        if workers_mode == "process" and not out_of_core:
+            raise ReproError(
+                "workers_mode='process' requires the out-of-core mode "
+                "(pass spill_dir=): children attach to the shard files by path"
+            )
+        if workers_mode == "process" and (workers is None or workers < 2):
+            raise ReproError(
+                "workers_mode='process' requires workers >= 2 (the pool "
+                "size); anything less would silently run serially"
+            )
         self._requested_shards = shards
         self._workers = workers
+        self._workers_mode = workers_mode
+        self._max_resident_bytes = max_resident_bytes
+        self._store: Optional[MmapShardStore] = None
+        self._spill_path_pending: Optional[str] = None
+        self._spill_root = os.fspath(spill_dir) if spill_dir is not None else None
+        self._shards: List[ShardInfo] = []
+        # Attribute value rows are stacked per shard block; attribute i's
+        # rows occupy [_row_offsets[i], _row_offsets[i + 1]).
+        self._row_offsets = [0]
+        for cardinality in dataset.cardinalities:
+            self._row_offsets.append(self._row_offsets[-1] + cardinality)
+        # With no duplicate rows every weight is 1 and coverage is a pure
+        # popcount; known up front from the global multiplicities.
+        unique_total = len(self._unique)
+        self._uniform = bool(
+            unique_total == 0 or self._counts.max(initial=1) == 1
+        )
+
+        if _attach_store is not None:
+            self._init_from_store(_attach_store)
+        else:
+            try:
+                self._build(dataset, out_of_core)
+            except BaseException:
+                # A failed out-of-core build has no store (and so no GC
+                # finalizer) yet — remove the partial spill directory here
+                # or it leaks forever.
+                if self._store is None and self._spill_path_pending is not None:
+                    shutil.rmtree(self._spill_path_pending, ignore_errors=True)
+                raise
+
+        # The pools are created lazily on the first fan-out query and shut
+        # down when the engine is closed or garbage-collected, so rebuild
+        # churn (e.g. the incremental index) never accumulates idle workers.
+        self._fan_out = (
+            workers is not None and workers > 1 and len(self._shards) > 1
+        )
+        self._use_processes = (
+            self._fan_out
+            and self._store is not None
+            and workers_mode == "process"
+            and _fork_available()
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, dataset: Dataset, out_of_core: bool) -> None:
+        """Index the dataset shard by shard (spilling each block if asked)."""
+        unique_total = len(self._unique)
         # Clamp: more shards than distinct combinations would only produce
         # empty shards (the index's unit of work is a unique combination).
-        unique_total = len(self._unique)
-        effective = max(1, min(shards, max(unique_total, 1)))
+        effective = max(1, min(self._requested_shards, max(unique_total, 1)))
         bounds = np.linspace(0, unique_total, effective + 1).astype(np.int64)
         # Which slice of the (sorted) unique space each row falls in.
         inverse = dataset.unique_inverse()
 
-        self._shards: List[ShardInfo] = []
+        writer: Optional[ShardStoreWriter] = None
+        if out_of_core:
+            os.makedirs(self._spill_root, exist_ok=True)
+            spill_path = tempfile.mkdtemp(
+                prefix="repro-shards-", dir=self._spill_root
+            )
+            self._spill_path_pending = spill_path
+            writer = ShardStoreWriter(
+                spill_path,
+                cardinalities=dataset.cardinalities,
+                uniform=self._uniform,
+                dataset_meta=_dataset_meta(dataset, unique_total),
+            )
+
         attribute_blocks: List[List[np.ndarray]] = [[] for _ in dataset.cardinalities]
         count_blocks: List[np.ndarray] = []
         full_blocks: List[np.ndarray] = []
-        uniform = True
         word_offset = 0
-        for unique_start, unique_stop in zip(bounds[:-1], bounds[1:]):
+        for shard_id, (unique_start, unique_stop) in enumerate(
+            zip(bounds[:-1], bounds[1:])
+        ):
             row_indices = np.nonzero(
                 (inverse >= unique_start) & (inverse < unique_stop)
             )[0]
             # Each shard is an inner packed engine; its word blocks are
-            # harvested into the flat layout and the engine dropped, so the
-            # index exists once.  The shard's unique rows are, by
-            # construction, exactly the global slice — prime the shard
-            # dataset with it so the inner engine skips its own re-sort.
+            # harvested (into the flat layout, or onto disk) and the engine
+            # dropped, so the index exists once.  The shard's unique rows
+            # are, by construction, exactly the global slice — prime the
+            # shard dataset with it so the inner engine skips its own
+            # re-sort.
             shard_dataset = dataset.take(row_indices)
             unique_slice = self._unique[unique_start:unique_stop]
             shard_dataset._prime_unique_cache(
@@ -146,13 +309,28 @@ class ShardedEngine(CoverageEngine):
             )
             inner = PackedBitsetEngine(shard_dataset, mask_cache_size=0)
             words = inner.full_mask().words
-            for attribute in range(dataset.d):
-                attribute_blocks[attribute].append(inner.word_matrix(attribute))
-            count_blocks.append(inner.counts_padded)
+            if writer is not None:
+                if dataset.d:
+                    block = np.vstack(
+                        [inner.word_matrix(a) for a in range(dataset.d)]
+                    )
+                else:
+                    block = np.zeros((0, len(words)), dtype=np.uint64)
+                writer.add_shard(
+                    block,
+                    None if self._uniform else inner.counts_padded,
+                    unique_start=int(unique_start),
+                    unique_stop=int(unique_stop),
+                    row_count=len(row_indices),
+                )
+            else:
+                for attribute in range(dataset.d):
+                    attribute_blocks[attribute].append(inner.word_matrix(attribute))
+                count_blocks.append(inner.counts_padded)
             full_blocks.append(words)
-            uniform = uniform and inner.is_uniform
             self._shards.append(
                 ShardInfo(
+                    index=shard_id,
                     row_count=len(row_indices),
                     unique_start=int(unique_start),
                     unique_stop=int(unique_stop),
@@ -164,33 +342,147 @@ class ShardedEngine(CoverageEngine):
             )
             word_offset += len(words)
 
-        # The flat index: per attribute a (cardinality, total_words) matrix
-        # whose column ranges are the shard slices.
-        self._words: List[np.ndarray] = [
-            np.ascontiguousarray(np.concatenate(blocks, axis=1))
-            for blocks in attribute_blocks
-        ]
-        self._counts_padded = (
-            np.concatenate(count_blocks)
-            if count_blocks
-            else np.zeros(0, dtype=np.int64)
-        )
+        if writer is not None:
+            self._store = writer.finish(
+                max_resident_bytes=self._max_resident_bytes, owns_files=True
+            )
+            self._words = None
+            self._counts_padded = None
+        else:
+            # The flat index: per attribute a (cardinality, total_words)
+            # matrix whose column ranges are the shard slices.
+            self._words = [
+                np.ascontiguousarray(np.concatenate(blocks, axis=1))
+                for blocks in attribute_blocks
+            ]
+            self._counts_padded = (
+                np.concatenate(count_blocks)
+                if count_blocks
+                else np.zeros(0, dtype=np.int64)
+            )
         self._full_words = (
             np.concatenate(full_blocks)
             if full_blocks
             else np.zeros(0, dtype=np.uint64)
         )
-        self._uniform = uniform
         self._word_count = word_offset
 
-        # The pool is created lazily on the first fan-out query and shut
-        # down when the engine is closed or garbage-collected, so rebuild
-        # churn (e.g. the incremental index) never accumulates idle threads.
-        self._fan_out = (
-            workers is not None and workers > 1 and len(self._shards) > 1
+    def _init_from_store(self, store: MmapShardStore) -> None:
+        """Adopt an existing spill directory (no re-serialization)."""
+        meta = store.manifest.get("dataset", {})
+        expected = _dataset_meta(self._dataset, len(self._unique))
+        for key, value in expected.items():
+            if meta.get(key) != value:
+                store.close()
+                raise EngineError(
+                    f"spill directory {store.path} was built for a different "
+                    f"dataset ({key}: manifest has {meta.get(key)!r}, "
+                    f"dataset has {value!r})"
+                )
+        # Uniformity is derivable from the dataset, so a disagreeing
+        # manifest is corrupt — accepting it would drop (or invent) the
+        # multiplicity weighting and silently mis-count.
+        if store.uniform != self._uniform:
+            store.close()
+            raise EngineError(
+                f"spill directory {store.path} records uniform="
+                f"{store.uniform}, but the dataset's multiplicities say "
+                f"{self._uniform}"
+            )
+        self._store = store
+        self._words = None
+        self._counts_padded = None
+        if self._spill_root is None:
+            self._spill_root = os.fspath(store.path.parent)
+        full_blocks: List[np.ndarray] = []
+        previous_unique = 0
+        previous_word = 0
+        for position, entry in enumerate(store.manifest["shards"]):
+            # The id doubles as the store lookup key and the payload index,
+            # so a permuted manifest must fail loudly, not mis-place results.
+            if entry["id"] != position:
+                store.close()
+                raise EngineError(
+                    f"spill directory {store.path} has out-of-order shard ids "
+                    f"(entry {position} carries id {entry['id']})"
+                )
+            if (
+                entry["unique_start"] != previous_unique
+                or entry["word_start"] != previous_word
+            ):
+                store.close()
+                raise EngineError(
+                    f"spill directory {store.path} has a non-contiguous "
+                    f"shard layout (manifest shard {entry['id']})"
+                )
+            info = ShardInfo(
+                index=int(entry["id"]),
+                row_count=int(entry["row_count"]),
+                unique_start=int(entry["unique_start"]),
+                unique_stop=int(entry["unique_stop"]),
+                unique_rows=self._unique[
+                    entry["unique_start"] : entry["unique_stop"]
+                ],
+                counts=self._counts[entry["unique_start"] : entry["unique_stop"]],
+                word_start=int(entry["word_start"]),
+                word_stop=int(entry["word_stop"]),
+            )
+            full_blocks.append(BitVector(info.unique_count, fill=True).words)
+            previous_unique = info.unique_stop
+            previous_word = info.word_stop
+            self._shards.append(info)
+        if previous_unique != len(self._unique):
+            store.close()
+            raise EngineError(
+                f"spill directory {store.path} covers {previous_unique} unique "
+                f"combinations; dataset has {len(self._unique)}"
+            )
+        self._full_words = (
+            np.concatenate(full_blocks)
+            if full_blocks
+            else np.zeros(0, dtype=np.uint64)
         )
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._finalizer: Optional[weakref.finalize] = None
+        self._word_count = previous_word
+        self._requested_shards = len(self._shards)
+
+    @classmethod
+    def attach(
+        cls,
+        dataset: Dataset,
+        spill_path: str,
+        *,
+        workers: Optional[int] = None,
+        workers_mode: str = DEFAULT_WORKERS_MODE,
+        mask_cache_size: int = DEFAULT_MASK_CACHE,
+        max_resident_bytes: Optional[int] = None,
+    ) -> "ShardedEngine":
+        """Re-open a spill directory written by a previous engine.
+
+        The manifest's dataset fingerprint must match ``dataset``; the
+        attached engine reads the existing shard files and does **not**
+        delete them on close (the writing engine, or the caller, owns
+        them).  This is the crash-recovery path: a finished spill directory
+        answers coverage queries identically to the engine that wrote it.
+        """
+        store = MmapShardStore.open(
+            spill_path, max_resident_bytes=max_resident_bytes, owns_files=False
+        )
+        try:
+            return cls(
+                dataset,
+                shards=store.shard_count,
+                workers=workers,
+                workers_mode=workers_mode,
+                mask_cache_size=mask_cache_size,
+                max_resident_bytes=max_resident_bytes,
+                _attach_store=store,
+            )
+        except BaseException:
+            # Constructor validation can raise before _init_from_store
+            # adopts the store; don't leave the mmaps open until GC
+            # (close() is idempotent for the paths that already closed it).
+            store.close()
+            raise
 
     # ------------------------------------------------------------------
     # shard plumbing
@@ -212,14 +504,53 @@ class ShardedEngine(CoverageEngine):
 
     @property
     def workers(self) -> Optional[int]:
-        """Thread-pool size for shard fan-out; ``None`` means serial."""
+        """Pool size for shard fan-out; ``None`` means serial."""
         return self._workers
 
-    def close(self) -> None:
-        """Shut the worker pool down (no-op when none was ever started).
+    @property
+    def workers_mode(self) -> str:
+        """Requested fan-out mode (``"thread"`` / ``"process"``)."""
+        return self._workers_mode
 
-        The engine stays usable: a later fan-out query simply starts a
-        fresh pool.
+    @property
+    def effective_workers_mode(self) -> str:
+        """The fan-out mode queries actually use.
+
+        ``"serial"`` when no fan-out is configured; ``"thread"`` when
+        threads serve it (including the fallback from ``"process"`` on
+        platforms without ``fork``); ``"process"`` otherwise.
+        """
+        if not self._fan_out:
+            return "serial"
+        return "process" if self._use_processes else "thread"
+
+    @property
+    def out_of_core(self) -> bool:
+        """True when the index lives in a spill directory, not RAM."""
+        return self._store is not None
+
+    @property
+    def store(self) -> Optional[MmapShardStore]:
+        """The mmap shard store (``None`` in the in-memory mode)."""
+        return self._store
+
+    @property
+    def spill_path(self) -> Optional[str]:
+        """Directory holding this engine's shard files (out-of-core only)."""
+        return str(self._store.path) if self._store is not None else None
+
+    @property
+    def max_resident_bytes(self) -> Optional[int]:
+        """Resident-shard byte budget (out-of-core only; None = unlimited)."""
+        return self._max_resident_bytes
+
+    def close(self) -> None:
+        """Shut worker pools down and release the spill store.
+
+        In-memory engines stay usable (a later fan-out query starts a fresh
+        pool).  An out-of-core engine deletes its spill directory when it
+        owns one (i.e. it was not :meth:`attach`-ed), after which queries
+        raise :class:`EngineError`.
         """
         if self._finalizer is not None:
             self._finalizer.detach()
@@ -227,6 +558,26 @@ class ShardedEngine(CoverageEngine):
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._process_finalizer is not None:
+            self._process_finalizer.detach()
+            self._process_finalizer = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+        if self._store is not None:
+            self._store.close()
+            # Cached masks must not keep answering for released spill files.
+            self.clear_mask_cache()
+
+    def _check_open(self) -> None:
+        """Reject queries on a closed out-of-core engine (in every path —
+        including the uniform-count and all-wildcard shortcuts that never
+        touch the store)."""
+        if self._store is not None and self._store.closed:
+            raise EngineError(
+                f"out-of-core engine is closed (spill directory "
+                f"{self._store.path} was released)"
+            )
 
     def _map_shards(self, fn: Callable[[ShardInfo], _T]) -> List[_T]:
         """``[fn(shard_0), …, fn(shard_K-1)]`` on the pool, in shard order.
@@ -244,57 +595,142 @@ class ShardedEngine(CoverageEngine):
             )
         return list(self._executor.map(fn, self._shards))
 
-    def _template_options(self) -> dict:
+    def _map_shards_ooc(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        """One :func:`apply_shard_op` result per shard, in shard order.
+
+        The single dispatch for every out-of-core query family: the same
+        ``(op, payload)`` pairs run on the process pool, the thread pool,
+        or inline — so the three evaluation modes cannot diverge.
+        """
+        if self._use_processes:
+            return self._map_shards_process(op, payloads)
+
+        def _local(shard: ShardInfo) -> Any:
+            words, counts = self._store.shard(shard.index)
+            return apply_shard_op(op, payloads[shard.index], words, counts)
+
+        if self._fan_out:
+            return self._map_shards(_local)
+        return [_local(shard) for shard in self._shards]
+
+    def _map_shards_process(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run one shard op per shard on the process pool, in shard order.
+
+        Children attach to the spill directory by path (pool initializer),
+        so only the op payloads — mask windows, row ids — are pickled.
+        """
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=min(self._workers, len(self._shards)),
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=worker_attach,
+                initargs=(self.spill_path, self._max_resident_bytes),
+            )
+            self._process_finalizer = weakref.finalize(
+                self, self._process_pool.shutdown, wait=False
+            )
+        path = self.spill_path
+        return list(
+            self._process_pool.map(
+                run_shard_op,
+                [
+                    (path, shard.index, op, payload)
+                    for shard, payload in zip(self._shards, payloads)
+                ],
+            )
+        )
+
+    def _template_options(self) -> Dict[str, Any]:
         options = super()._template_options()
-        options.update(shards=self._requested_shards, workers=self._workers)
+        options.update(
+            shards=self._requested_shards,
+            workers=self._workers,
+            workers_mode=self._workers_mode,
+            spill_dir=self._spill_root if self._store is not None else None,
+            max_resident_bytes=self._max_resident_bytes,
+        )
         return options
 
     # ------------------------------------------------------------------
     # counting kernels
     # ------------------------------------------------------------------
-    def _count_words(self, words: np.ndarray) -> int:
-        """Weighted count of one flat word array (the whole mask space)."""
-        if words.size == 0:
-            return 0
-        if self._uniform:
-            return int(popcount_words(words).sum())
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-        return int(bits @ self._counts_padded)
+    @property
+    def _weights(self) -> Optional[np.ndarray]:
+        """Global padded multiplicities, or ``None`` on uniform data."""
+        return None if self._uniform else self._counts_padded
 
-    def _count_word_matrix(self, matrix: np.ndarray, counts: np.ndarray) -> np.ndarray:
-        """Weighted count of each row of a ``(k, W)`` word matrix."""
-        # Shard-sliced matrices are not C-contiguous, and numpy < 1.23
-        # refuses the itemsize-changing views both counting paths take
-        # (popcount_words' uint16 fallback and the unpackbits uint8 view).
-        matrix = np.ascontiguousarray(matrix)
+    def _window(self, shard: ShardInfo) -> slice:
+        return slice(shard.word_start, shard.word_stop)
+
+    def _shard_weights(self, shard: ShardInfo) -> Optional[np.ndarray]:
+        """The shard's padded multiplicity slice (in-memory mode)."""
         if self._uniform:
-            return popcount_words(matrix).sum(axis=1, dtype=np.int64)
-        if matrix.shape[1] == 0:
-            return np.zeros(matrix.shape[0], dtype=np.int64)
-        bits = np.unpackbits(matrix.view(np.uint8), axis=1, bitorder="little")
-        return bits @ counts
+            return None
+        return self._counts_padded[
+            shard.word_start * _WORD_BITS : shard.word_stop * _WORD_BITS
+        ]
 
     # ------------------------------------------------------------------
     # mask kernel
     # ------------------------------------------------------------------
     @property
     def index_nbytes(self) -> int:
+        # Membership words only in both modes, so cross-engine memory
+        # comparisons stay apples-to-apples (store.data_nbytes adds the
+        # spilled multiplicity vectors for the full on-disk footprint).
+        if self._store is not None:
+            return self._store.words_nbytes
         return sum(words.nbytes for words in self._words)
 
     def full_mask(self) -> ShardedMask:
+        self._check_open()
         return self._full_words.copy()
 
     def value_mask(self, attribute: int, value: int) -> ShardedMask:
-        return self._words[attribute][value]
+        if self._store is None:
+            return self._words[attribute][value]
+        # Index rows have zeroed tail bits, so ANDing with the (tail-masked)
+        # full words reproduces the raw row — one op for both queries.
+        return self._ooc_and_row(self._full_words, attribute, value)
 
     def restrict(
         self, mask: ShardedMask, attribute: int, value: int
     ) -> ShardedMask:
-        return np.bitwise_and(mask, self._words[attribute][value])
+        if self._store is None:
+            return np.bitwise_and(mask, self._words[attribute][value])
+        return self._ooc_and_row(mask, attribute, value)
+
+    def _ooc_and_row(
+        self, mask: ShardedMask, attribute: int, value: int
+    ) -> ShardedMask:
+        """``mask AND`` one index row, through the shared fan-out dispatch."""
+        self._check_open()
+        row = self._row_offsets[attribute] + value
+        return self._ooc_chain_rows(mask, [row], np.empty_like(mask))
+
+    def _ooc_chain_rows(
+        self, mask: ShardedMask, rows: Sequence[int], out: ShardedMask
+    ) -> ShardedMask:
+        """AND the index ``rows`` into each shard window of ``mask``.
+
+        The single shard-window scatter/gather behind both ``restrict`` /
+        ``value_mask`` (one row, fresh output) and ``match_mask`` (chained
+        rows, in-place: pass ``out=mask``).
+        """
+        windows = self._map_shards_ooc(
+            "match",
+            [(mask[self._window(shard)], list(rows)) for shard in self._shards],
+        )
+        for shard, window_words in zip(self._shards, windows):
+            out[self._window(shard)] = window_words
+        return out
 
     def restrict_children(
         self, mask: ShardedMask, attribute: int
     ) -> List[ShardedMask]:
+        if self._store is not None:
+            self._check_open()
+            return self._ooc_restrict_children(mask, attribute)
         index = self._words[attribute]
         if not self._fan_out:
             family = np.bitwise_and(mask[np.newaxis, :], index)
@@ -302,7 +738,7 @@ class ShardedEngine(CoverageEngine):
             family = np.empty_like(index)
 
             def _and_slice(shard: ShardInfo) -> None:
-                window = slice(shard.word_start, shard.word_stop)
+                window = self._window(shard)
                 np.bitwise_and(
                     mask[np.newaxis, window], index[:, window], out=family[:, window]
                 )
@@ -310,39 +746,58 @@ class ShardedEngine(CoverageEngine):
             self._map_shards(_and_slice)
         return list(family)
 
+    def _ooc_restrict_children(
+        self, mask: ShardedMask, attribute: int
+    ) -> List[ShardedMask]:
+        row_start = self._row_offsets[attribute]
+        row_stop = self._row_offsets[attribute + 1]
+        family = np.empty((row_stop - row_start, len(mask)), dtype=np.uint64)
+        blocks = self._map_shards_ooc(
+            "children",
+            [
+                (mask[self._window(shard)], row_start, row_stop)
+                for shard in self._shards
+            ],
+        )
+        for shard, block in zip(self._shards, blocks):
+            family[:, self._window(shard)] = block
+        return list(family)
+
     def count(self, mask: ShardedMask) -> int:
+        if self._store is not None:
+            self._check_open()
+            return self._ooc_count(mask)
         if not self._fan_out:
-            return self._count_words(mask)
+            return weighted_count(mask, self._weights)
         partials = self._map_shards(
-            lambda shard: self._count_shard_words(
-                mask[shard.word_start : shard.word_stop], shard
+            lambda shard: weighted_count(
+                mask[self._window(shard)], self._shard_weights(shard)
             )
         )
         return int(sum(partials))
 
-    def _count_shard_words(self, words: np.ndarray, shard: ShardInfo) -> int:
-        if words.size == 0:
-            return 0
+    def _ooc_count(self, mask: ShardedMask) -> int:
+        # Uniform data needs no multiplicities: coverage is a pure popcount
+        # of the (resident) mask, with no shard loads at all.
         if self._uniform:
-            return int(popcount_words(words).sum())
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-        counts = self._counts_padded[
-            shard.word_start * _WORD_BITS : shard.word_stop * _WORD_BITS
-        ]
-        return int(bits @ counts)
+            return weighted_count(mask, None)
+        partials = self._map_shards_ooc(
+            "count", [mask[self._window(shard)] for shard in self._shards]
+        )
+        return int(sum(partials))
 
     def count_many(self, masks: Sequence[ShardedMask]) -> np.ndarray:
         if not len(masks):
             return np.zeros(0, dtype=np.int64)
         matrix = np.stack(masks)
+        if self._store is not None:
+            self._check_open()
+            return self._ooc_count_many(matrix)
         if not self._fan_out:
-            return self._count_word_matrix(matrix, self._counts_padded)
+            return weighted_count_rows(matrix, self._weights)
         partials = self._map_shards(
-            lambda shard: self._count_word_matrix(
-                matrix[:, shard.word_start : shard.word_stop],
-                self._counts_padded[
-                    shard.word_start * _WORD_BITS : shard.word_stop * _WORD_BITS
-                ],
+            lambda shard: weighted_count_rows(
+                matrix[:, self._window(shard)], self._shard_weights(shard)
             )
         )
         total = partials[0].copy()
@@ -350,7 +805,20 @@ class ShardedEngine(CoverageEngine):
             total += partial
         return total
 
+    def _ooc_count_many(self, matrix: np.ndarray) -> np.ndarray:
+        if self._uniform:
+            return weighted_count_rows(matrix, None)
+        partials = self._map_shards_ooc(
+            "count_rows",
+            [matrix[:, self._window(shard)] for shard in self._shards],
+        )
+        total = partials[0].copy()
+        for partial in partials[1:]:
+            total += partial
+        return total
+
     def mask_to_bool(self, mask: ShardedMask) -> np.ndarray:
+        self._check_open()
         selected = np.zeros(self.unique_count, dtype=bool)
         if mask.size == 0:
             return selected
@@ -365,13 +833,16 @@ class ShardedEngine(CoverageEngine):
     def _compute_match_mask(self, pattern) -> ShardedMask:
         mask = self.full_mask()
         indices = pattern.deterministic_indices()
+        if self._store is not None:
+            self._check_open()
+            return self._ooc_match_mask(mask, pattern, indices)
         if not self._fan_out or not indices:
             for index in indices:
                 np.bitwise_and(mask, self._words[index][pattern[index]], out=mask)
             return mask
 
         def _chain_slice(shard: ShardInfo) -> None:
-            window = slice(shard.word_start, shard.word_stop)
+            window = self._window(shard)
             for index in indices:
                 np.bitwise_and(
                     mask[window],
@@ -381,3 +852,11 @@ class ShardedEngine(CoverageEngine):
 
         self._map_shards(_chain_slice)
         return mask
+
+    def _ooc_match_mask(
+        self, mask: ShardedMask, pattern, indices: Sequence[int]
+    ) -> ShardedMask:
+        if not indices:
+            return mask
+        rows = [self._row_offsets[index] + pattern[index] for index in indices]
+        return self._ooc_chain_rows(mask, rows, mask)

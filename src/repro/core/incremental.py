@@ -105,6 +105,18 @@ class IncrementalMupIndex:
         """Current coverage of a pattern."""
         return self._oracle.coverage(pattern)
 
+    def _rebuild_oracle(self) -> None:
+        """Re-index the (mutated) dataset, retiring the old engine.
+
+        The engines this index builds are its own (prebuilt instances are
+        reduced to templates in ``__init__``), so the outgoing engine is
+        closed eagerly — worker pools shut down and out-of-core spill
+        directories are deleted instead of lingering until GC.
+        """
+        retired = self._oracle.engine
+        self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
+        retired.close()
+
     # ------------------------------------------------------------------
     # additions
     # ------------------------------------------------------------------
@@ -120,7 +132,7 @@ class IncrementalMupIndex:
         if addition.ndim == 1:
             addition = addition.reshape(1, -1)
         self._dataset = self._dataset.append_rows(addition)
-        self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
+        self._rebuild_oracle()
 
         # Only MUPs matching some new tuple changed coverage.
         touched = [
@@ -192,7 +204,7 @@ class IncrementalMupIndex:
         keep[indices] = False
         before = set(self._mups)
         self._dataset = self._dataset.mask(keep)
-        self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
+        self._rebuild_oracle()
 
         # 1. Existing MUPs may stop being maximal (a parent became
         #    uncovered) — exactly when the parent matches a removed tuple.

@@ -39,6 +39,36 @@ else:  # pragma: no cover - exercised only on old numpy
         return halves.reshape(words.shape + (4,)).sum(axis=-1).astype(np.uint8)
 
 
+def weighted_count(words: np.ndarray, counts) -> int:
+    """Weighted population count of one flat ``uint64`` word array.
+
+    ``counts`` is the padded per-bit multiplicity vector, or ``None`` when
+    every multiplicity is 1 (pure popcount).  The single counting kernel
+    shared by the packed, sharded, and out-of-core engines.
+    """
+    if words.size == 0:
+        return 0
+    if counts is None:
+        return int(popcount_words(words).sum())
+    bits = np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), bitorder="little"
+    )
+    return int(bits @ counts)
+
+
+def weighted_count_rows(matrix: np.ndarray, counts) -> np.ndarray:
+    """Weighted count of each row of a ``(k, W)`` ``uint64`` word matrix."""
+    # Window slices are usually not C-contiguous, and the itemsize-changing
+    # views below require contiguity.
+    matrix = np.ascontiguousarray(matrix)
+    if counts is None:
+        return popcount_words(matrix).sum(axis=1, dtype=np.int64)
+    if matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    bits = np.unpackbits(matrix.view(np.uint8), axis=1, bitorder="little")
+    return bits @ counts
+
+
 class BitVector:
     """Fixed-length packed bit vector backed by ``numpy.uint64`` words.
 

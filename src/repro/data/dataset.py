@@ -9,6 +9,7 @@ rows (integers in ``[0, c_i)``) together with optional label columns.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -298,6 +299,22 @@ class Dataset:
             else:
                 self.unique_rows()
         return self._inverse_cache
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of the dataset's logical content.
+
+        Hashes the schema cardinalities together with the (sorted) unique
+        value combinations and their multiplicities, so two datasets with
+        the same rows in any order fingerprint identically.  The out-of-core
+        shard store records this in its manifest and refuses to attach a
+        spill directory to a different dataset.
+        """
+        unique, counts = self.unique_rows()
+        digest = hashlib.sha256()
+        digest.update(np.asarray(self.cardinalities, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(unique, dtype=np.int32).tobytes())
+        digest.update(np.ascontiguousarray(counts, dtype=np.int64).tobytes())
+        return digest.hexdigest()
 
     def _prime_unique_cache(self, unique: np.ndarray, counts: np.ndarray) -> None:
         """Install a precomputed unique-row aggregation (trusted callers).

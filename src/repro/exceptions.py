@@ -23,6 +23,11 @@ class PatternError(ReproError):
     """A pattern is malformed or incompatible with the schema it is used on."""
 
 
+class EngineError(ReproError):
+    """A coverage-engine backend cannot serve queries (bad configuration,
+    corrupted or missing spill files, use after close...)."""
+
+
 class ValidationError(ReproError):
     """A validation rule is malformed."""
 

@@ -1,13 +1,23 @@
 """Cross-engine observational-equivalence property suite (hypothesis).
 
-Every registered coverage engine — ``dense``, ``packed``, and ``sharded``
-at several shard counts, with the hot-mask cache both enabled and disabled
-— must give bit-identical answers on every query family: point coverage,
-batched ``count_many`` / ``coverage_many``, sibling families from
+Every registered coverage engine — ``dense``, ``packed``, ``sharded`` at
+several shard counts, and the out-of-core sharded engine (spilled to a
+temporary directory, with eviction forced by a one-shard resident budget)
+— with the hot-mask cache both enabled and disabled, must give
+bit-identical answers on every query family: point coverage, batched
+``count_many`` / ``coverage_many``, sibling families from
 ``restrict_children``, and whole ``find_mups`` runs across all five
 identification algorithms.  The dense engine is the reference; everything
 else is compared against it.
+
+The out-of-core engine additionally carries a crash-safety property:
+re-opening a finished spill directory from its manifest
+(:meth:`ShardedEngine.attach`) answers every query identically to the
+engine that wrote it.
 """
+
+import tempfile
+from contextlib import contextmanager
 
 import hypothesis.strategies as st
 import numpy as np
@@ -25,6 +35,9 @@ from repro.data.dataset import Dataset, Schema
 #: Shard counts exercised: degenerate (1), even split, and more shards
 #: than some generated datasets have rows (exercising the clamp).
 SHARD_COUNTS = (1, 2, 7)
+
+#: Shard count of the out-of-core configuration in the engine matrix.
+OOC_SHARDS = 3
 
 ALL_ALGORITHMS = ("naive", "apriori", "pattern_breaker", "pattern_combiner", "deepdiver")
 
@@ -59,76 +72,96 @@ def dataset_and_patterns(draw, max_patterns: int = 6):
     return dataset, patterns
 
 
-def _engine_matrix(dataset, mask_cache_size):
-    """One engine per backend configuration under test, dense first."""
-    engines = [
-        DenseBoolEngine(dataset, mask_cache_size=mask_cache_size),
-        PackedBitsetEngine(dataset, mask_cache_size=mask_cache_size),
-    ]
-    for shards in SHARD_COUNTS:
+@contextmanager
+def engine_matrix(dataset, mask_cache_size):
+    """One engine per backend configuration under test, dense first.
+
+    The last entry is the out-of-core sharded engine: spilled into a
+    temporary directory and starved with ``max_resident_bytes=1`` so every
+    shard load evicts the previous one (a one-shard resident set).
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-equiv-") as root:
+        engines = [
+            DenseBoolEngine(dataset, mask_cache_size=mask_cache_size),
+            PackedBitsetEngine(dataset, mask_cache_size=mask_cache_size),
+        ]
+        for shards in SHARD_COUNTS:
+            engines.append(
+                ShardedEngine(dataset, shards=shards, mask_cache_size=mask_cache_size)
+            )
         engines.append(
-            ShardedEngine(dataset, shards=shards, mask_cache_size=mask_cache_size)
+            ShardedEngine(
+                dataset,
+                shards=OOC_SHARDS,
+                mask_cache_size=mask_cache_size,
+                spill_dir=root,
+                max_resident_bytes=1,
+            )
         )
-    return engines
+        try:
+            yield engines
+        finally:
+            for engine in engines:
+                engine.close()
 
 
 @given(dataset_and_patterns(), st.sampled_from([0, 1024]))
 @settings(max_examples=40, deadline=None)
 def test_point_coverage_identical(case, cache_size):
     dataset, patterns = case
-    reference, *others = _engine_matrix(dataset, cache_size)
-    for pattern in patterns:
-        expected = reference.coverage(pattern)
-        for engine in others:
-            assert engine.coverage(pattern) == expected, engine.name
-        # Re-query so cached configurations serve the mask from the cache.
-        for engine in [reference, *others]:
-            assert engine.coverage(pattern) == expected, engine.name
+    with engine_matrix(dataset, cache_size) as (reference, *others):
+        for pattern in patterns:
+            expected = reference.coverage(pattern)
+            for engine in others:
+                assert engine.coverage(pattern) == expected, engine.name
+            # Re-query so cached configurations serve the mask from the cache.
+            for engine in [reference, *others]:
+                assert engine.coverage(pattern) == expected, engine.name
 
 
 @given(dataset_and_patterns(), st.sampled_from([0, 1024]))
 @settings(max_examples=40, deadline=None)
 def test_count_many_identical(case, cache_size):
     dataset, patterns = case
-    reference, *others = _engine_matrix(dataset, cache_size)
-    expected = list(
-        reference.count_many([reference.match_mask(p) for p in patterns])
-    )
-    assert expected == [reference.coverage(p) for p in patterns]
-    for engine in others:
-        masks = [engine.match_mask(p) for p in patterns]
-        assert list(engine.count_many(masks)) == expected, engine.name
-        assert list(engine.coverage_many(patterns)) == expected, engine.name
+    with engine_matrix(dataset, cache_size) as (reference, *others):
+        expected = list(
+            reference.count_many([reference.match_mask(p) for p in patterns])
+        )
+        assert expected == [reference.coverage(p) for p in patterns]
+        for engine in others:
+            masks = [engine.match_mask(p) for p in patterns]
+            assert list(engine.count_many(masks)) == expected, engine.name
+            assert list(engine.coverage_many(patterns)) == expected, engine.name
 
 
 @given(dataset_and_patterns(), st.sampled_from([0, 16]))
 @settings(max_examples=30, deadline=None)
 def test_restrict_children_identical(case, cache_size):
     dataset, patterns = case
-    reference, *others = _engine_matrix(dataset, cache_size)
-    for pattern in patterns:
-        free = pattern.nondeterministic_indices()
-        if not free:
-            continue
-        attribute = free[-1]
-        expected_family = [
-            reference.mask_to_bool(child)
-            for child in reference.restrict_children(
-                reference.match_mask(pattern), attribute
-            )
-        ]
-        for engine in others:
-            family = engine.restrict_children(
-                engine.match_mask(pattern), attribute
-            )
-            assert len(family) == dataset.cardinalities[attribute]
-            for child, expected in zip(family, expected_family):
-                assert np.array_equal(
-                    engine.mask_to_bool(child), expected
-                ), engine.name
-            # The sibling family partitions the parent's matches.
-            counts = engine.count_many(family)
-            assert int(counts.sum()) == engine.coverage(pattern), engine.name
+    with engine_matrix(dataset, cache_size) as (reference, *others):
+        for pattern in patterns:
+            free = pattern.nondeterministic_indices()
+            if not free:
+                continue
+            attribute = free[-1]
+            expected_family = [
+                reference.mask_to_bool(child)
+                for child in reference.restrict_children(
+                    reference.match_mask(pattern), attribute
+                )
+            ]
+            for engine in others:
+                family = engine.restrict_children(
+                    engine.match_mask(pattern), attribute
+                )
+                assert len(family) == dataset.cardinalities[attribute]
+                for child, expected in zip(family, expected_family):
+                    assert np.array_equal(
+                        engine.mask_to_bool(child), expected
+                    ), engine.name
+                # The sibling family partitions the parent's matches.
+                counts = engine.count_many(family)
+                assert int(counts.sum()) == engine.coverage(pattern), engine.name
 
 
 @given(datasets(max_d=3, max_card=3, max_n=25), st.sampled_from([0, 1024]))
@@ -142,14 +175,15 @@ def test_full_mup_runs_identical_across_all_algorithms(dataset, cache_size):
             algorithm=algorithm,
             engine=DenseBoolEngine(dataset, mask_cache_size=cache_size),
         )
-        for engine in _engine_matrix(dataset, cache_size)[1:]:
-            result = find_mups(
-                dataset, threshold=2, algorithm=algorithm, engine=engine
-            )
-            assert result.as_set() == reference.as_set(), (
-                algorithm,
-                engine.name,
-            )
+        with engine_matrix(dataset, cache_size) as (_, *others):
+            for engine in others:
+                result = find_mups(
+                    dataset, threshold=2, algorithm=algorithm, engine=engine
+                )
+                assert result.as_set() == reference.as_set(), (
+                    algorithm,
+                    engine.name,
+                )
 
 
 @given(datasets(max_n=30))
@@ -174,10 +208,47 @@ def test_sharded_workers_match_serial(dataset):
 
 @given(dataset_and_patterns())
 @settings(max_examples=25, deadline=None)
+def test_reopening_spill_directory_answers_identically(case):
+    """Crash safety: a finished spill directory is a complete index.
+
+    Whatever the writing engine answered, an engine attached to the same
+    directory from its manifest (a fresh process after a crash) must answer
+    identically — point coverage, batched counts, and sibling families.
+    """
+    dataset, patterns = case
+    with tempfile.TemporaryDirectory(prefix="repro-reopen-") as root:
+        writer = ShardedEngine(dataset, shards=2, spill_dir=root)
+        expected_points = [writer.coverage(p) for p in patterns]
+        expected_batch = list(writer.coverage_many(patterns))
+        reopened = ShardedEngine.attach(
+            dataset, writer.spill_path, max_resident_bytes=1
+        )
+        try:
+            assert [reopened.coverage(p) for p in patterns] == expected_points
+            assert list(reopened.coverage_many(patterns)) == expected_batch
+            family_a = writer.restrict_children(writer.full_mask(), 0)
+            family_b = reopened.restrict_children(reopened.full_mask(), 0)
+            for a, b in zip(family_a, family_b):
+                assert np.array_equal(
+                    writer.mask_to_bool(a), reopened.mask_to_bool(b)
+                )
+        finally:
+            reopened.close()
+            writer.close()
+
+
+@given(dataset_and_patterns())
+@settings(max_examples=25, deadline=None)
 def test_cached_masks_are_isolated_copies(case):
     """Mutating a handed-out mask must not corrupt the cache."""
     dataset, patterns = case
-    for engine in _engine_matrix(dataset, mask_cache_size=64)[:3]:
+    # One engine per mask representation; no spill needed for this test.
+    engines = [
+        DenseBoolEngine(dataset, mask_cache_size=64),
+        PackedBitsetEngine(dataset, mask_cache_size=64),
+        ShardedEngine(dataset, shards=SHARD_COUNTS[0], mask_cache_size=64),
+    ]
+    for engine in engines:
         for pattern in patterns:
             before = engine.coverage(pattern)
             mask = engine.match_mask(pattern)

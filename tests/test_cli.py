@@ -187,3 +187,132 @@ class TestEngineSelection:
         )
         assert code == 2
         assert "shard count" in capsys.readouterr().err
+
+
+class TestOutOfCore:
+    def test_identify_out_of_core_matches_in_memory(
+        self, csv_file, tmp_path, capsys
+    ):
+        assert main(["identify", csv_file, "--threshold", "5"]) == 0
+        reference = capsys.readouterr().out
+        spill = tmp_path / "spill"
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "sharded",
+                "--shards",
+                "3",
+                "--spill-dir",
+                str(spill),
+                "--max-resident-bytes",
+                "4096",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == reference
+
+    def test_identify_with_process_workers(self, csv_file, tmp_path, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "sharded",
+                "--shards",
+                "3",
+                "--workers",
+                "2",
+                "--workers-mode",
+                "process",
+                "--spill-dir",
+                str(tmp_path / "spill"),
+            ]
+        )
+        assert code == 0
+        assert "maximal uncovered pattern" in capsys.readouterr().out
+
+    def test_spill_dir_requires_sharded_engine(self, csv_file, tmp_path, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "packed",
+                "--spill-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "--engine sharded" in capsys.readouterr().err
+
+    def test_shards_require_sharded_engine(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "packed",
+                "--shards",
+                "16",
+            ]
+        )
+        assert code == 2
+        assert "--engine sharded" in capsys.readouterr().err
+
+    def test_workers_require_sharded_engine(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "packed",
+                "--workers",
+                "4",
+            ]
+        )
+        assert code == 2
+        assert "--engine sharded" in capsys.readouterr().err
+
+    def test_workers_mode_requires_sharded_engine(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--workers-mode",
+                "process",
+            ]
+        )
+        assert code == 2
+        assert "--engine sharded" in capsys.readouterr().err
+
+    def test_process_mode_without_spill_dir_returns_2(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "sharded",
+                "--workers",
+                "2",
+                "--workers-mode",
+                "process",
+            ]
+        )
+        assert code == 2
+        assert "out-of-core" in capsys.readouterr().err

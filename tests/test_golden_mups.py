@@ -23,19 +23,38 @@ FIXTURES = Path(__file__).parent / "fixtures"
 with open(FIXTURES / "expected_mups.json") as _handle:
     EXPECTED = json.load(_handle)
 
-#: (label, engine-spec factory) — factories take the dataset and return the
-#: ``engine=`` argument for ``find_mups``.
+#: (label, engine-spec factory) — factories take the dataset and a fresh
+#: temporary directory and return the ``engine=`` argument for ``find_mups``.
 ENGINE_CONFIGS = [
-    ("dense", lambda dataset: "dense"),
-    ("packed", lambda dataset: "packed"),
-    ("sharded-2", lambda dataset: ShardedEngine(dataset, shards=2)),
+    ("dense", lambda dataset, tmp_path: "dense"),
+    ("packed", lambda dataset, tmp_path: "packed"),
+    ("sharded-2", lambda dataset, tmp_path: ShardedEngine(dataset, shards=2)),
     (
         "sharded-7-workers",
-        lambda dataset: ShardedEngine(dataset, shards=7, workers=2),
+        lambda dataset, tmp_path: ShardedEngine(dataset, shards=7, workers=2),
     ),
     (
         "sharded-nocache",
-        lambda dataset: ShardedEngine(dataset, shards=3, mask_cache_size=0),
+        lambda dataset, tmp_path: ShardedEngine(dataset, shards=3, mask_cache_size=0),
+    ),
+    (
+        "out-of-core",
+        lambda dataset, tmp_path: ShardedEngine(
+            dataset,
+            shards=3,
+            spill_dir=str(tmp_path),
+            max_resident_bytes=1,
+        ),
+    ),
+    (
+        "out-of-core-process",
+        lambda dataset, tmp_path: ShardedEngine(
+            dataset,
+            shards=3,
+            workers=2,
+            workers_mode="process",
+            spill_dir=str(tmp_path),
+        ),
     ),
 ]
 
@@ -59,11 +78,13 @@ def load_fixture(name: str) -> Dataset:
 @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
 @pytest.mark.parametrize("config", ENGINE_CONFIGS, ids=[c[0] for c in ENGINE_CONFIGS])
 @pytest.mark.parametrize("fixture,tau", CASES, ids=[f"{f}-tau{t}" for f, t in CASES])
-def test_algorithm_engine_matrix_reproduces_golden(algorithm, config, fixture, tau):
+def test_algorithm_engine_matrix_reproduces_golden(
+    algorithm, config, fixture, tau, tmp_path
+):
     dataset = load_fixture(fixture)
     expected = set(EXPECTED[fixture]["thresholds"][str(tau)])
     _, make_engine = config
-    engine = make_engine(dataset)
+    engine = make_engine(dataset, tmp_path)
     try:
         result = find_mups(
             dataset, threshold=tau, algorithm=algorithm, engine=engine
