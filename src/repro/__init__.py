@@ -29,8 +29,11 @@ from repro.core.engine import (
     ENGINES,
     CoverageEngine,
     DenseBoolEngine,
+    EngineConfig,
+    EnginePlan,
     PackedBitsetEngine,
     ShardedEngine,
+    plan_engine,
     resolve_engine,
 )
 from repro.core.coverage import CoverageOracle, coverage_scan, max_covered_level
@@ -68,6 +71,9 @@ __all__ = [
     "DenseBoolEngine",
     "PackedBitsetEngine",
     "ShardedEngine",
+    "EngineConfig",
+    "EnginePlan",
+    "plan_engine",
     "ENGINES",
     "resolve_engine",
     "CoverageOracle",

@@ -80,7 +80,9 @@ def coverage_label(
         headline_limit: how many of the most general MUPs to feature.
         max_level: optionally restrict the search depth (large schemas).
         result: reuse an existing MUP identification result.
-        engine: coverage-engine backend for the identification run.
+        engine: coverage-engine spec for the identification run (name,
+            ``"auto"``, :class:`~repro.core.engine.EngineConfig`, class,
+            or instance).
     """
     if result is None:
         result = find_mups(

@@ -23,13 +23,15 @@ from repro.analysis.nutrition import coverage_label
 from repro.analysis.report import enhancement_report, mup_report
 from repro.core.coverage import CoverageOracle
 from repro.core.engine import (
-    DEFAULT_ENGINE,
+    AUTO,
     DEFAULT_SHARDS,
     DEFAULT_WORKERS_MODE,
     ENGINES,
     WORKERS_MODES,
     CoverageEngine,
-    EngineSpec,
+    EngineConfig,
+    engine_name,
+    plan_engine,
     resolve_engine,
 )
 from repro.core.enhancement.greedy import greedy_cover
@@ -79,12 +81,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        default=DEFAULT_ENGINE,
-        choices=sorted(ENGINES),
-        help="coverage-engine backend: 'dense' uses unpacked boolean "
-        "vectors (reference), 'packed' uses uint64 bitsets with word-level "
-        "popcount (8x smaller index), 'sharded' partitions the packed "
-        "index row-wise for bounded per-kernel working sets",
+        default=AUTO,
+        choices=sorted(ENGINES) + [AUTO],
+        help="coverage-engine backend (default 'auto': a workload-aware "
+        "planner inspects the dataset and escalates dense -> packed -> "
+        "sharded -> out-of-core as the projected index grows); 'dense' "
+        "uses unpacked boolean vectors (reference), 'packed' uses uint64 "
+        "bitsets with word-level popcount (8x smaller index), 'sharded' "
+        "partitions the packed index row-wise for bounded per-kernel "
+        "working sets",
+    )
+    parser.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the engine plan (chosen backend + rationale) before "
+        "running the command",
     )
     parser.add_argument(
         "--shards",
@@ -107,74 +118,63 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="shard fan-out pool (default "
         f"{DEFAULT_WORKERS_MODE}): 'thread' works in every mode; 'process' "
         "attaches child processes to the spill files by path (requires "
-        "--spill-dir; falls back to threads without fork support)",
+        "--spill-dir with --engine sharded; falls back to threads without "
+        "fork support)",
     )
     parser.add_argument(
         "--spill-dir",
         default=None,
-        help="run --engine sharded out-of-core: serialize shard blocks "
-        "into a unique subdirectory of this path and stream them via mmap "
-        "(removed when the run finishes)",
+        help="run out-of-core: serialize shard blocks into a unique "
+        "subdirectory of this path and stream them via mmap (removed when "
+        "the run finishes); with --engine auto this forces the out-of-core "
+        "mode",
     )
     parser.add_argument(
         "--max-resident-bytes",
         type=int,
         default=None,
-        help="byte budget for resident mmap shard slices with --spill-dir "
-        "(default: unlimited)",
+        help="byte budget for resident mmap shard slices (with --engine "
+        "sharded requires --spill-dir; with --engine auto this is the "
+        "planner's memory budget — the planner goes out-of-core when the "
+        "projected index exceeds it)",
     )
 
 
-def _build_engine(args: argparse.Namespace, dataset: Dataset) -> EngineSpec:
+def _build_engine(args: argparse.Namespace, dataset: Dataset) -> CoverageEngine:
     """The engine selected by the CLI flags, built against ``dataset``.
 
-    Only the sharded backend takes construction options, so the other
-    names pass through untouched (their consumers build them on demand).
+    The flags are lifted into one declarative :class:`EngineConfig`
+    (whose ``validate()`` holds every cross-flag rule — programmatic
+    callers constructing configs get identical errors), planned when the
+    backend is ``auto``, and built.  ``--explain-plan`` prints the plan's
+    rationale before the command runs.
     """
-    if args.engine != "sharded":
-        if args.spill_dir is not None or args.max_resident_bytes is not None:
-            raise ReproError(
-                "--spill-dir / --max-resident-bytes require --engine sharded"
-            )
-        if args.shards is not None:
-            raise ReproError("--shards requires --engine sharded")
-        if args.workers is not None:
-            raise ReproError("--workers requires --engine sharded")
-        if args.workers_mode is not None:
-            raise ReproError("--workers-mode requires --engine sharded")
-        return args.engine
-    return resolve_engine(
-        "sharded",
-        dataset,
-        shards=args.shards if args.shards is not None else DEFAULT_SHARDS,
-        workers=args.workers,
-        workers_mode=(
-            args.workers_mode
-            if args.workers_mode is not None
-            else DEFAULT_WORKERS_MODE
-        ),
-        spill_dir=args.spill_dir,
-        max_resident_bytes=args.max_resident_bytes,
-    )
+    config = EngineConfig.from_cli_args(args)
+    plan = plan_engine(dataset, config)
+    if getattr(args, "explain_plan", False):
+        print(plan.describe())
+        print()
+    # Unset options stay None in the plan; the backend constructors apply
+    # their own defaults (e.g. an explicit --engine sharded without
+    # --shards builds the stock shard count).
+    return resolve_engine(plan.config, dataset)
 
 
 @contextmanager
 def _engine_scope(
     args: argparse.Namespace, dataset: Dataset
-) -> Iterator[EngineSpec]:
+) -> Iterator[CoverageEngine]:
     """Build the CLI-selected engine and close it when the command ends.
 
-    Built engine instances (the sharded configurations) are closed
-    explicitly so worker pools shut down and out-of-core spill directories
-    are removed when the run finishes, not whenever GC gets around to it;
-    plain registry names pass through untouched.
+    Engines are closed explicitly so worker pools shut down and
+    out-of-core spill directories are removed when the run finishes, not
+    whenever GC gets around to it.
     """
     engine = _build_engine(args, dataset)
     try:
         yield engine
     finally:
-        if isinstance(engine, CoverageEngine):
-            engine.close()
+        engine.close()
 
 
 def _cmd_identify(args: argparse.Namespace) -> int:
@@ -233,6 +233,7 @@ def _parse_rules(dataset: Dataset, texts: Sequence[str]) -> ValidationOracle:
 def _cmd_enhance(args: argparse.Namespace) -> int:
     dataset = _load_csv(args.csv, args.attributes)
     with _engine_scope(args, dataset) as engine:
+        engine_backend = engine_name(engine)
         result = find_mups(
             dataset,
             threshold=args.threshold,
@@ -243,7 +244,10 @@ def _cmd_enhance(args: argparse.Namespace) -> int:
     space = PatternSpace.for_dataset(dataset)
     targets = uncovered_at_level(result.mups, space, args.level)
     validation = _parse_rules(dataset, args.rule or [])
-    plan = greedy_cover(targets, space, validation, engine=args.engine)
+    # The target index only needs the mask representation family, so the
+    # planned engine's canonical name (not the dataset-bound instance)
+    # configures it.
+    plan = greedy_cover(targets, space, validation, engine=engine_backend)
     print(enhancement_report(dataset, plan))
     return 0
 

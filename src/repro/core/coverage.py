@@ -42,9 +42,11 @@ class CoverageOracle:
 
     Args:
         dataset: the dataset to index.
-        engine: coverage-engine selection — a registry name (``"dense"`` /
-            ``"packed"``), an engine class, or a prebuilt engine instance;
-            ``None`` picks the default backend.
+        engine: coverage-engine selection — a declarative
+            :class:`~repro.core.engine.EngineConfig`, a registry name
+            (``"dense"`` / ``"packed"`` / ``"sharded"``, or ``"auto"`` to
+            let the workload-aware planner choose), an engine class, or a
+            prebuilt engine instance; ``None`` picks the default backend.
 
     Attributes:
         evaluations: number of coverage queries answered; algorithms report

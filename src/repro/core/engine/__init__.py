@@ -1,12 +1,14 @@
 """Pluggable coverage engines (Appendix A behind one interface).
 
 Importing this package registers every backend; select one by name
-(``"dense"`` / ``"packed"`` / ``"sharded"``) anywhere an ``engine=``
-argument or the CLI ``--engine`` flag is accepted.  The sharded backend
-additionally runs out-of-core (``spill_dir=`` / ``max_resident_bytes=``)
-over an mmap-backed :class:`~repro.core.engine.mmapped.MmapShardStore`,
-with thread- or process-pool shard fan-out (``workers=`` /
-``workers_mode=``).
+(``"dense"`` / ``"packed"`` / ``"sharded"``) — or pass a declarative
+:class:`~repro.core.engine.config.EngineConfig`, or the name ``"auto"``
+to let the workload-aware planner (:mod:`repro.core.engine.planner`)
+choose — anywhere an ``engine=`` argument or the CLI ``--engine`` flag is
+accepted.  The sharded backend additionally runs out-of-core
+(``spill_dir=`` / ``max_resident_bytes=``) over an mmap-backed
+:class:`~repro.core.engine.mmapped.MmapShardStore`, with thread- or
+process-pool shard fan-out (``workers=`` / ``workers_mode=``).
 """
 
 from repro.core.engine.base import (
@@ -28,6 +30,13 @@ from repro.core.engine.sharded import (
     WORKERS_MODES,
     ShardedEngine,
 )
+from repro.core.engine.config import AUTO, BUILTIN_BACKENDS, EngineConfig
+from repro.core.engine.planner import (
+    EnginePlan,
+    WorkloadStats,
+    available_memory_bytes,
+    plan_engine,
+)
 
 __all__ = [
     "CoverageEngine",
@@ -36,6 +45,13 @@ __all__ = [
     "ShardedEngine",
     "MmapShardStore",
     "ShardStoreWriter",
+    "EngineConfig",
+    "EnginePlan",
+    "WorkloadStats",
+    "plan_engine",
+    "available_memory_bytes",
+    "AUTO",
+    "BUILTIN_BACKENDS",
     "ENGINES",
     "DEFAULT_ENGINE",
     "DEFAULT_MASK_CACHE",

@@ -38,6 +38,7 @@ for the benchmarks.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Sequence, Tuple, Type, Union
@@ -311,9 +312,23 @@ class CoverageEngine(ABC):
         incremental MUP index) use this to carry an engine's configuration
         — cache capacity, shard count, worker pool — onto the new dataset,
         with none of the old dataset's masks or cached state.
+
+        For the registered backends the template *is* a declarative
+        :class:`~repro.core.engine.config.EngineConfig` (serializable, and
+        still callable with a dataset); unregistered subclasses fall back
+        to an opaque factory closure.
         """
         cls = type(self)
         options = self._template_options()
+        if ENGINES.get(cls.name) is cls:
+            from repro.core.engine.config import EngineConfig
+
+            try:
+                return EngineConfig.from_options(cls.name, **options)
+            except ReproError:
+                # Subclass-specific options the config doesn't know; keep
+                # the closure fallback below.
+                pass
 
         def build(dataset: Dataset, **overrides: Any) -> "CoverageEngine":
             return cls(dataset, **{**options, **overrides})
@@ -322,7 +337,8 @@ class CoverageEngine(ABC):
         return build
 
 
-#: Anything that names an engine: a registry key, a class, an instance, a
+#: Anything that names an engine: a registry key (or ``"auto"``), an
+#: :class:`~repro.core.engine.config.EngineConfig`, a class, an instance, a
 #: dataset-free factory (e.g. an engine ``template()``), or ``None`` for the
 #: default.  Defined after the class so the alias holds the real type
 #: (annotations referencing it resolve in any importing module).
@@ -331,18 +347,39 @@ EngineSpec = Union[
 ]
 
 
+def _build_from_config(config: Any, dataset: Dataset) -> CoverageEngine:
+    """Build the engine an :class:`EngineConfig` describes.
+
+    ``"auto"`` configs are resolved through the workload-aware planner
+    first; everything else instantiates the named backend with the
+    config's set options.
+    """
+    if config.is_auto:
+        from repro.core.engine.planner import plan_engine
+
+        config = plan_engine(dataset, config).config
+    return ENGINES[config.backend](dataset, **config.engine_options())
+
+
 def resolve_engine(
     spec: EngineSpec, dataset: Dataset, **options: Any
 ) -> CoverageEngine:
     """Build (or pass through) the engine selected by ``spec``.
 
-    Accepts a registry name (``"dense"`` / ``"packed"`` / ``"sharded"``), an
-    engine class, a dataset-free factory callable (such as an engine's
+    Accepts an :class:`~repro.core.engine.config.EngineConfig` (the
+    preferred declarative form), a registry name (``"dense"`` /
+    ``"packed"`` / ``"sharded"``, or ``"auto"`` to let the planner choose),
+    an engine class, a dataset-free factory callable (such as an engine's
     :meth:`~CoverageEngine.template`), an already-built instance (returned
-    as-is), or ``None`` for the default.  Keyword ``options`` are forwarded
-    to the backend constructor (``shards=``, ``workers=``,
-    ``mask_cache_size=``…); they cannot be combined with a prebuilt
-    instance, which is already configured.
+    as-is), or ``None`` for the default.
+
+    Keyword ``options`` are the legacy configuration style; for the
+    built-in backend names they are validated through ``EngineConfig``
+    (inapplicable combinations raise a clear
+    :class:`~repro.exceptions.EngineError` instead of being silently
+    ignored or crashing in a constructor) and emit a
+    ``DeprecationWarning``.  They cannot be combined with a prebuilt
+    instance or a config, which are already complete.
     """
     if spec is None:
         spec = DEFAULT_ENGINE
@@ -359,11 +396,36 @@ def resolve_engine(
                 f"or name to rebuild it"
             )
         return spec
+    from repro.core.engine.config import BUILTIN_BACKENDS, EngineConfig
+
+    if isinstance(spec, EngineConfig):
+        if options:
+            raise ReproError(
+                f"engine options {sorted(options)} cannot be combined with an "
+                f"EngineConfig; use dataclasses.replace on the config instead"
+            )
+        return _build_from_config(spec, dataset)
     if isinstance(spec, str):
+        if spec in BUILTIN_BACKENDS:
+            config = EngineConfig.from_options(spec, **options)
+            if options:
+                # Warn only once the options validated — a rejected call
+                # should not be told to migrate options no config accepts.
+                warnings.warn(
+                    "passing engine options as loose keyword arguments is "
+                    "deprecated; build a repro.core.engine.EngineConfig "
+                    "instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return _build_from_config(config, dataset)
         if spec not in ENGINES:
             raise ReproError(
-                f"unknown coverage engine {spec!r}; available: {sorted(ENGINES)}"
+                f"unknown coverage engine {spec!r}; "
+                f"available: {sorted(ENGINES) + ['auto']}"
             )
+        # Custom registered backends define their own constructor options;
+        # forward the kwargs untouched.
         spec = ENGINES[spec]
     if (isinstance(spec, type) and issubclass(spec, CoverageEngine)) or (
         not isinstance(spec, type) and callable(spec)
@@ -379,13 +441,24 @@ def resolve_engine(
 
 
 def engine_name(spec: EngineSpec) -> str:
-    """Canonical registry name of an engine spec (for non-dataset reuse)."""
+    """Canonical registry name of an engine spec (for non-dataset reuse).
+
+    ``"auto"`` (as a name or an auto ``EngineConfig``) is returned verbatim
+    — the concrete backend is only known once a dataset is planned.
+    """
     if spec is None:
         return DEFAULT_ENGINE
+    from repro.core.engine.config import AUTO, EngineConfig
+
+    if isinstance(spec, EngineConfig):
+        return spec.backend
     if isinstance(spec, str):
+        if spec == AUTO:
+            return AUTO
         if spec not in ENGINES:
             raise ReproError(
-                f"unknown coverage engine {spec!r}; available: {sorted(ENGINES)}"
+                f"unknown coverage engine {spec!r}; "
+                f"available: {sorted(ENGINES) + ['auto']}"
             )
         return spec
     if isinstance(spec, CoverageEngine):

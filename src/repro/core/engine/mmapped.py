@@ -14,7 +14,11 @@ load/evict unit of an out-of-core index:
   and hands shards out through a byte-budgeted LRU loader
   (``max_resident_bytes=``): coverage queries stream over shards the
   hardware cannot hold at once, and the loader's instrumentation
-  (:meth:`MmapShardStore.stats`) proves it.
+  (:meth:`MmapShardStore.stats`) proves it.  Residency is tracked **per
+  component**: a shard's word block and its multiplicity vector load and
+  evict independently (``shard_words`` / ``shard_counts``), so the
+  counting kernels — which never read a membership word — charge only the
+  small count vectors against the budget instead of the whole shard.
 
 Because the shard files are immutable and addressed by path, they are also
 the substrate for **process-pool fan-out**: a child process attaches to the
@@ -233,9 +237,12 @@ class ShardStoreWriter:
 # store
 # ----------------------------------------------------------------------
 class _Resident(NamedTuple):
-    words: np.ndarray
-    counts: Optional[np.ndarray]
+    array: np.ndarray
     nbytes: int
+
+
+#: Residency components a shard splits into (the LRU's load/evict units).
+_COMPONENTS = ("words", "counts")
 
 
 def _remove_tree(path: str) -> None:
@@ -245,11 +252,15 @@ def _remove_tree(path: str) -> None:
 class MmapShardStore:
     """Read-only mmap access to a spill directory, behind an LRU loader.
 
-    Shards are loaded on demand with ``np.memmap`` and kept resident until
-    the byte budget (``max_resident_bytes``; ``None`` = unlimited) forces
-    LRU eviction.  A shard larger than the whole budget still loads (the
-    store degrades to one resident shard instead of failing) and is counted
-    in ``over_budget_loads``.
+    Shard components are loaded on demand with ``np.memmap`` and kept
+    resident until the byte budget (``max_resident_bytes``; ``None`` =
+    unlimited) forces LRU eviction.  The unit of residency is a shard
+    **component** — the word block (:meth:`shard_words`) or the
+    multiplicity vector (:meth:`shard_counts`) — so count-only query
+    streams never load or budget-charge the much larger word blocks.  A
+    component larger than the whole budget still loads (the store degrades
+    to one resident entry instead of failing) and is counted in
+    ``over_budget_loads``.
 
     Thread-safe: the thread-pool fan-out path loads shards concurrently.
     Use :meth:`MmapShardStore.open` to attach to an existing directory;
@@ -274,8 +285,12 @@ class MmapShardStore:
         self._max_resident = max_resident_bytes
         self._owns = bool(owns_files)
         self._lock = threading.Lock()
-        self._resident: "OrderedDict[int, _Resident]" = OrderedDict()
+        # Keyed by (shard_id, component): words and counts are independent
+        # load/evict units so count-only streams stay cheap.
+        self._resident: "OrderedDict[Tuple[int, str], _Resident]" = OrderedDict()
         self._resident_bytes = 0
+        self._component_bytes = {component: 0 for component in _COMPONENTS}
+        self._component_loads = {component: 0 for component in _COMPONENTS}
         self._closed = False
         self.loads = 0
         self.hits = 0
@@ -454,55 +469,76 @@ class MmapShardStore:
     # ------------------------------------------------------------------
     # the loader
     # ------------------------------------------------------------------
-    def shard(self, shard_id: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """The shard's ``(words, counts)`` arrays, loading and evicting as
-        needed (``counts`` is ``None`` for uniform stores)."""
+    def shard_words(self, shard_id: int) -> np.ndarray:
+        """The shard's stacked membership-word block (counts untouched)."""
+        return self._component(shard_id, "words")
+
+    def shard_counts(self, shard_id: int) -> Optional[np.ndarray]:
+        """The shard's padded multiplicity vector, or ``None`` when uniform.
+
+        The count kernels' accessor: only the (small) count vector is
+        loaded and charged against ``max_resident_bytes`` — the shard's
+        word block, typically an order of magnitude larger, stays on disk.
+        """
+        meta = self._manifest["shards"][shard_id]
+        if meta["counts_file"] is None:
+            if self._closed:
+                raise EngineError(f"shard store {self._path} is closed")
+            return None
+        return self._component(shard_id, "counts")
+
+    def _component(self, shard_id: int, component: str) -> np.ndarray:
+        """Load one residency unit (a shard's words *or* counts)."""
+        key = (shard_id, component)
         with self._lock:
             if self._closed:
                 raise EngineError(f"shard store {self._path} is closed")
-            entry = self._resident.get(shard_id)
+            entry = self._resident.get(key)
             if entry is not None:
                 self.hits += 1
-                self._resident.move_to_end(shard_id)
-                return entry.words, entry.counts
+                self._resident.move_to_end(key)
+                return entry.array
             meta = self._manifest["shards"][shard_id]
         # The disk opens run outside the lock so pool threads load shards
         # concurrently; only the LRU bookkeeping below serializes.
-        words = self._open_array(
-            meta["words_file"], tuple(meta["words_shape"]), np.uint64
-        )
-        counts = None
-        if meta["counts_file"] is not None:
-            counts = self._open_array(
+        if component == "words":
+            array = self._open_array(
+                meta["words_file"], tuple(meta["words_shape"]), np.uint64
+            )
+        else:
+            array = self._open_array(
                 meta["counts_file"], tuple(meta["counts_shape"]), np.int64
             )
-        nbytes = words.nbytes + (counts.nbytes if counts is not None else 0)
+        nbytes = int(array.nbytes)
         with self._lock:
             if self._closed:
                 raise EngineError(f"shard store {self._path} is closed")
-            entry = self._resident.get(shard_id)
+            entry = self._resident.get(key)
             if entry is not None:
                 # Another thread loaded it while we read; keep theirs.
                 self.hits += 1
-                self._resident.move_to_end(shard_id)
-                return entry.words, entry.counts
+                self._resident.move_to_end(key)
+                return entry.array
             self.loads += 1
+            self._component_loads[component] += 1
             if self._max_resident is not None:
                 while (
                     self._resident
                     and self._resident_bytes + nbytes > self._max_resident
                 ):
-                    _, evicted = self._resident.popitem(last=False)
+                    evicted_key, evicted = self._resident.popitem(last=False)
                     self._resident_bytes -= evicted.nbytes
+                    self._component_bytes[evicted_key[1]] -= evicted.nbytes
                     self.evictions += 1
                 if nbytes > self._max_resident:
                     self.over_budget_loads += 1
-            self._resident[shard_id] = _Resident(words, counts, nbytes)
+            self._resident[key] = _Resident(array, nbytes)
             self._resident_bytes += nbytes
+            self._component_bytes[component] += nbytes
             self.peak_resident_bytes = max(
                 self.peak_resident_bytes, self._resident_bytes
             )
-            return words, counts
+            return array
 
     def _open_array(
         self, filename: str, expected_shape: Tuple[int, ...], expected_dtype
@@ -527,15 +563,26 @@ class MmapShardStore:
         return array
 
     def stats(self) -> Dict[str, Any]:
-        """Loader instrumentation: loads/hits/evictions and residency."""
+        """Loader instrumentation: loads/hits/evictions and residency.
+
+        Loads and resident bytes are also broken down by component
+        (``words_*`` / ``counts_*``), exposing the words/counts residency
+        split — a count-heavy stream shows ``words_loads == 0`` and zero
+        resident word bytes.
+        """
         with self._lock:
             return {
                 "loads": self.loads,
+                "words_loads": self._component_loads["words"],
+                "counts_loads": self._component_loads["counts"],
                 "hits": self.hits,
                 "evictions": self.evictions,
                 "over_budget_loads": self.over_budget_loads,
-                "resident_shards": len(self._resident),
+                "resident_shards": len({sid for sid, _ in self._resident}),
+                "resident_entries": len(self._resident),
                 "resident_bytes": self._resident_bytes,
+                "resident_words_bytes": self._component_bytes["words"],
+                "resident_counts_bytes": self._component_bytes["counts"],
                 "peak_resident_bytes": self.peak_resident_bytes,
                 "max_resident_bytes": self._max_resident,
                 "shard_count": self.shard_count,
@@ -561,6 +608,7 @@ class MmapShardStore:
             self._closed = True
             self._resident.clear()
             self._resident_bytes = 0
+            self._component_bytes = {component: 0 for component in _COMPONENTS}
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
@@ -598,6 +646,12 @@ def worker_attach(path: str, max_resident_bytes: Optional[int] = None) -> None:
 
 #: Shard-op payloads (all small: mask windows, row ids — never the index).
 ShardOp = Tuple[str, int, str, Any]
+
+#: Ops that only read the multiplicity vectors: the shard's word block is
+#: neither loaded nor budget-charged for them (the words/counts residency
+#: split).  Conversely the remaining ops ("match"/"children") never read
+#: the counts.
+COUNT_ONLY_OPS = frozenset({"count", "count_rows"})
 
 
 def apply_shard_op(
@@ -647,5 +701,8 @@ def run_shard_op(args: ShardOp):
         # Unlike the initializer, the fallback states no budget intent, so
         # it must not clobber a pool-attached store's configured budget.
         store = _WORKER_STORES[path] = MmapShardStore.open(path)
-    words, counts = store.shard(shard_id)
-    return apply_shard_op(op, payload, words, counts)
+    # Load only the component the kernel reads: count ops touch the small
+    # multiplicity vectors, word ops the membership block — never both.
+    if op in COUNT_ONLY_OPS:
+        return apply_shard_op(op, payload, None, store.shard_counts(shard_id))
+    return apply_shard_op(op, payload, store.shard_words(shard_id), None)

@@ -56,6 +56,7 @@ from repro.core.engine.base import (
     register_engine,
 )
 from repro.core.engine.mmapped import (
+    COUNT_ONLY_OPS,
     MmapShardStore,
     ShardStoreWriter,
     apply_shard_op,
@@ -65,7 +66,7 @@ from repro.core.engine.mmapped import (
 from repro.core.engine.packed import PackedBitsetEngine
 from repro.data.bitset import BitVector, weighted_count, weighted_count_rows
 from repro.data.dataset import Dataset
-from repro.exceptions import EngineError, ReproError
+from repro.exceptions import EngineError
 
 #: Default number of shards when none is requested.
 DEFAULT_SHARDS = 4
@@ -177,38 +178,34 @@ class ShardedEngine(CoverageEngine):
     ) -> None:
         super().__init__(dataset, mask_cache_size=mask_cache_size)
         shards = int(shards)
-        if shards < 1:
-            raise ReproError(f"shard count must be >= 1, got {shards}")
         if workers is not None:
             workers = int(workers)
-            if workers < 1:
-                raise ReproError(f"worker count must be >= 1, got {workers}")
-        if workers_mode not in WORKERS_MODES:
-            raise ReproError(
-                f"workers_mode must be one of {WORKERS_MODES}, got {workers_mode!r}"
-            )
-        out_of_core = spill_dir is not None or _attach_store is not None
         if max_resident_bytes is not None:
             max_resident_bytes = int(max_resident_bytes)
-            if max_resident_bytes < 1:
-                raise ReproError(
-                    f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
+        # One validator holds every cross-field rule (EngineConfig.validate)
+        # so constructor callers and config callers cannot drift; an adopted
+        # store stands in for spill_dir, making attach() pass the same
+        # out-of-core checks.  Imported lazily — the config module imports
+        # this one for its constants.
+        from repro.core.engine.config import EngineConfig
+
+        EngineConfig.from_options(
+            "sharded",
+            shards=shards,
+            workers=workers,
+            workers_mode=workers_mode,
+            spill_dir=(
+                spill_dir
+                if spill_dir is not None
+                else (
+                    os.fspath(_attach_store.path)
+                    if _attach_store is not None
+                    else None
                 )
-            if not out_of_core:
-                raise ReproError(
-                    "max_resident_bytes requires the out-of-core mode "
-                    "(pass spill_dir=)"
-                )
-        if workers_mode == "process" and not out_of_core:
-            raise ReproError(
-                "workers_mode='process' requires the out-of-core mode "
-                "(pass spill_dir=): children attach to the shard files by path"
-            )
-        if workers_mode == "process" and (workers is None or workers < 2):
-            raise ReproError(
-                "workers_mode='process' requires workers >= 2 (the pool "
-                "size); anything less would silently run serially"
-            )
+            ),
+            max_resident_bytes=max_resident_bytes,
+        )
+        out_of_core = spill_dir is not None or _attach_store is not None
         self._requested_shards = shards
         self._workers = workers
         self._workers_mode = workers_mode
@@ -569,6 +566,20 @@ class ShardedEngine(CoverageEngine):
             # Cached masks must not keep answering for released spill files.
             self.clear_mask_cache()
 
+    def cache_info(self) -> Dict[str, Any]:
+        """Hot-mask cache counters, plus the spill loader's residency split.
+
+        In the out-of-core mode a ``"store"`` entry carries
+        :meth:`MmapShardStore.stats`, including the per-component
+        (words/counts) load counters and resident bytes — the observable
+        proof that count-heavy streams charge only the multiplicity
+        vectors.
+        """
+        info = dict(super().cache_info())
+        if self._store is not None:
+            info["store"] = self._store.stats()
+        return info
+
     def _check_open(self) -> None:
         """Reject queries on a closed out-of-core engine (in every path —
         including the uniform-count and all-wildcard shortcuts that never
@@ -606,8 +617,14 @@ class ShardedEngine(CoverageEngine):
             return self._map_shards_process(op, payloads)
 
         def _local(shard: ShardInfo) -> Any:
-            words, counts = self._store.shard(shard.index)
-            return apply_shard_op(op, payloads[shard.index], words, counts)
+            # Words/counts residency split: load only the component the
+            # kernel reads, so count-heavy streams never budget-charge the
+            # (much larger) word blocks.
+            if op in COUNT_ONLY_OPS:
+                counts = self._store.shard_counts(shard.index)
+                return apply_shard_op(op, payloads[shard.index], None, counts)
+            words = self._store.shard_words(shard.index)
+            return apply_shard_op(op, payloads[shard.index], words, None)
 
         if self._fan_out:
             return self._map_shards(_local)

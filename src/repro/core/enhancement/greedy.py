@@ -227,8 +227,10 @@ def greedy_cover(
         space: the pattern space.
         validation: the human-configured validation oracle; defaults to
             permissive.
-        engine: mask representation for the target index (``"dense"`` /
-            ``"packed"``).
+        engine: engine spec choosing the mask representation for the
+            target index (any :class:`~repro.core.engine.EngineSpec` —
+            name, ``EngineConfig``, class, instance; everything except
+            ``"dense"`` selects the packed representation).
 
     Returns:
         An :class:`EnhancementResult`; targets that no *valid* combination
@@ -297,7 +299,8 @@ def enhance_coverage(
         validation: optional validation oracle.
         copies: how many tuples to collect per planned combination; defaults
             to ``threshold`` (enough to cover any previously empty target).
-        engine: mask representation for the greedy target index.
+        engine: engine spec (name, ``EngineConfig``, class, instance)
+            choosing the greedy target index's mask representation.
 
     Returns:
         ``(result, enhanced dataset)``.

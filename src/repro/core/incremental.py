@@ -40,10 +40,12 @@ def _engine_template(engine: EngineSpec) -> EngineSpec:
 
     The index rebuilds its oracle after every delivery/removal, so a
     prebuilt engine instance (bound to the initial dataset) is reduced to
-    its :meth:`~repro.core.engine.CoverageEngine.template` — the same
-    configuration (shard count, worker pool, cache capacity) on the new
-    dataset, with none of the old dataset's masks or cached state; names
-    and classes pass through.
+    its :meth:`~repro.core.engine.CoverageEngine.template` — a declarative
+    :class:`~repro.core.engine.EngineConfig` carrying the same
+    configuration (shard count, worker pool, cache capacity) onto the new
+    dataset, with none of the old dataset's masks or cached state; names,
+    configs, and classes pass through.  An ``"auto"`` spec re-plans on
+    every rebuild, so the backend escalates as deliveries grow the index.
     """
     if isinstance(engine, CoverageEngine):
         return engine.template()

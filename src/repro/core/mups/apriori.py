@@ -59,7 +59,8 @@ def apriori_mups(
         max_level: optionally stop after item-sets of this size.
         oracle: reuse a prebuilt coverage oracle (supports are pattern
             coverages for attribute-distinct item-sets).
-        engine: coverage-engine backend when no oracle is given.
+        engine: coverage-engine spec (name, ``"auto"``, EngineConfig,
+            class, or instance) when no oracle is given.
     """
     oracle = oracle or CoverageOracle(dataset, engine=engine)
     d = dataset.d

@@ -117,8 +117,10 @@ def find_mups(
         max_level: only look for MUPs at level ≤ this cap (supported by
             ``pattern_breaker`` and ``deepdiver``; Figure 16).
         oracle: optionally reuse a prebuilt coverage oracle.
-        engine: coverage-engine backend (``"dense"`` / ``"packed"``) used to
-            build the oracle; ignored when ``oracle`` is given.
+        engine: coverage-engine selection used to build the oracle — an
+            :class:`~repro.core.engine.EngineConfig`, a backend name
+            (``"auto"`` consults the workload-aware planner), a class, or
+            an instance; ignored when ``oracle`` is given.
 
     Returns:
         A :class:`MupResult`.

@@ -47,7 +47,8 @@ def deepdiver(
         max_level: do not explore below this level; returns all MUPs with
             ``ℓ(P) <= max_level`` (Figure 16's scaling mode).
         oracle: reuse a prebuilt coverage oracle.
-        engine: coverage-engine backend when no oracle is given.
+        engine: coverage-engine spec (name, ``"auto"``, EngineConfig,
+            class, or instance) when no oracle is given.
         use_dominance_index: disable only for the Appendix B ablation; a
             linear scan over the MUP list is used instead.
     """

@@ -44,7 +44,8 @@ def naive_mups(
         threshold: absolute coverage threshold ``τ``.
         max_level: optionally ignore MUPs deeper than this level.
         oracle: reuse a prebuilt coverage oracle.
-        engine: coverage-engine backend when no oracle is given.
+        engine: coverage-engine spec (name, ``"auto"``, EngineConfig,
+            class, or instance) when no oracle is given.
     """
     space = PatternSpace.for_dataset(dataset)
     if space.node_count() > _MAX_PATTERNS:

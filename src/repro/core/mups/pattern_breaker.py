@@ -44,7 +44,8 @@ def pattern_breaker(
         max_level: stop after this level; returns all MUPs with
             ``ℓ(P) <= max_level``.
         oracle: reuse a prebuilt coverage oracle.
-        engine: coverage-engine backend when no oracle is given.
+        engine: coverage-engine spec (name, ``"auto"``, EngineConfig,
+            class, or instance) when no oracle is given.
         use_masks: thread parent match-masks down the tree (Appendix A
             optimization); disable only for the ablation benchmark.
     """

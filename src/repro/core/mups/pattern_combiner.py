@@ -44,7 +44,9 @@ def pattern_combiner(
         threshold: absolute coverage threshold ``τ``.
         oracle: accepted for interface parity; the bottom-up algorithm only
             needs the aggregated unique rows, not per-pattern queries.
-        engine: accepted for interface parity, like ``oracle``.
+        engine: accepted for interface parity, like ``oracle`` (any
+            :class:`~repro.core.engine.EngineSpec`, including an
+            ``EngineConfig`` or ``"auto"``).
     """
     space = PatternSpace.for_dataset(dataset)
     if space.combination_count() > _MAX_COMBINATIONS:

@@ -1,8 +1,9 @@
 """Cross-engine observational-equivalence property suite (hypothesis).
 
 Every registered coverage engine — ``dense``, ``packed``, ``sharded`` at
-several shard counts, and the out-of-core sharded engine (spilled to a
-temporary directory, with eviction forced by a one-shard resident budget)
+several shard counts, the out-of-core sharded engine (spilled to a
+temporary directory, with eviction forced by a one-shard resident budget),
+and whatever the ``auto`` planner emits for the generated dataset
 — with the hot-mask cache both enabled and disabled, must give
 bit-identical answers on every query family: point coverage, batched
 ``count_many`` / ``coverage_many``, sibling families from
@@ -24,9 +25,12 @@ import numpy as np
 from hypothesis import given, settings
 
 from repro.core.engine import (
+    AUTO,
     DenseBoolEngine,
+    EngineConfig,
     PackedBitsetEngine,
     ShardedEngine,
+    resolve_engine,
 )
 from repro.core.mups.base import ALGORITHMS, find_mups
 from repro.core.pattern import Pattern, X
@@ -76,9 +80,11 @@ def dataset_and_patterns(draw, max_patterns: int = 6):
 def engine_matrix(dataset, mask_cache_size):
     """One engine per backend configuration under test, dense first.
 
-    The last entry is the out-of-core sharded engine: spilled into a
+    The matrix ends with the out-of-core sharded engine — spilled into a
     temporary directory and starved with ``max_resident_bytes=1`` so every
-    shard load evicts the previous one (a one-shard resident set).
+    shard load evicts the previous one (a one-shard resident set) — and
+    whatever the ``auto`` planner picks for the dataset, so every plan the
+    planner can emit stays observationally equivalent too.
     """
     with tempfile.TemporaryDirectory(prefix="repro-equiv-") as root:
         engines = [
@@ -96,6 +102,12 @@ def engine_matrix(dataset, mask_cache_size):
                 mask_cache_size=mask_cache_size,
                 spill_dir=root,
                 max_resident_bytes=1,
+            )
+        )
+        engines.append(
+            resolve_engine(
+                EngineConfig(backend=AUTO, mask_cache_size=mask_cache_size),
+                dataset,
             )
         )
         try:
@@ -184,6 +196,26 @@ def test_full_mup_runs_identical_across_all_algorithms(dataset, cache_size):
                     algorithm,
                     engine.name,
                 )
+
+
+@given(datasets(max_d=3, max_card=3, max_n=25))
+@settings(max_examples=15, deadline=None)
+def test_auto_planned_engine_mups_match_packed(dataset):
+    """Every plan the auto planner emits builds an engine whose MUP sets
+    match the packed reference on small datasets (the planner satellite)."""
+    reference = find_mups(dataset, threshold=2, engine="packed")
+    result = find_mups(dataset, threshold=2, engine=AUTO)
+    assert result.as_set() == reference.as_set()
+    # A memory-starved auto plan (escalating out-of-core) agrees too.
+    with tempfile.TemporaryDirectory(prefix="repro-auto-") as root:
+        starved = find_mups(
+            dataset,
+            threshold=2,
+            engine=EngineConfig(
+                backend=AUTO, spill_dir=root, max_resident_bytes=1
+            ),
+        )
+    assert starved.as_set() == reference.as_set()
 
 
 @given(datasets(max_n=30))

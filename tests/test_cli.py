@@ -286,14 +286,19 @@ class TestOutOfCore:
         assert "--engine sharded" in capsys.readouterr().err
 
     def test_workers_mode_requires_sharded_engine(self, csv_file, capsys):
+        # The default engine is now "auto" (which accepts sharded knobs as
+        # planner constraints), so the inapplicable combination must name
+        # the backend explicitly.
         code = main(
             [
                 "identify",
                 csv_file,
                 "--threshold",
                 "5",
+                "--engine",
+                "packed",
                 "--workers-mode",
-                "process",
+                "thread",
             ]
         )
         assert code == 2
@@ -316,3 +321,93 @@ class TestOutOfCore:
         )
         assert code == 2
         assert "out-of-core" in capsys.readouterr().err
+
+
+class TestAutoPlanner:
+    """The auto planner is the CLI default and honors its constraints."""
+
+    def test_auto_is_the_default_and_matches_explicit_engines(
+        self, csv_file, capsys
+    ):
+        assert main(["identify", csv_file, "--threshold", "5"]) == 0
+        auto_output = capsys.readouterr().out
+        for engine in ("dense", "packed", "sharded"):
+            code = main(
+                ["identify", csv_file, "--threshold", "5", "--engine", engine]
+            )
+            assert code == 0
+            assert capsys.readouterr().out == auto_output
+
+    def test_explain_plan_prints_rationale(self, csv_file, capsys):
+        code = main(
+            ["identify", csv_file, "--threshold", "5", "--explain-plan"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "engine plan:" in output
+        assert "projected" in output
+        assert "maximal uncovered pattern" in output
+
+    def test_explain_plan_reports_hand_picked_engines(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--engine",
+                "packed",
+                "--explain-plan",
+            ]
+        )
+        assert code == 0
+        assert "hand-picked" in capsys.readouterr().out
+
+    def test_auto_escalates_to_out_of_core_under_memory_budget(
+        self, csv_file, tmp_path, capsys
+    ):
+        """The acceptance pin: projected packed bytes above the budget
+        select the out-of-core mode, with identical answers."""
+        assert main(["identify", csv_file, "--threshold", "5"]) == 0
+        reference = capsys.readouterr().out
+        spill = tmp_path / "spill"
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--explain-plan",
+                "--spill-dir",
+                str(spill),
+                "--max-resident-bytes",
+                "16",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "out-of-core" in output
+        assert "max_resident_bytes=16" in output
+        # The plan renders first; the report itself is byte-identical.
+        assert output.endswith(reference)
+        # The planner's spill subdirectory is removed when the run ends.
+        import os
+
+        assert os.listdir(spill) == []
+
+    def test_auto_accepts_sharded_knobs_as_constraints(self, csv_file, capsys):
+        code = main(
+            [
+                "identify",
+                csv_file,
+                "--threshold",
+                "5",
+                "--explain-plan",
+                "--shards",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "backend=sharded shards=3" in output
+        assert "requested explicitly" in output

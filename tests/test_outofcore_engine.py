@@ -428,10 +428,67 @@ class TestBudget:
         engine.coverage_many(patterns)
         engine.coverage_many(patterns)
         stats = engine.store.stats()
-        assert stats["loads"] == engine.shard_count
+        # Words and counts are independent residency units: the match pass
+        # loads each shard's word block once, the (non-uniform) counting
+        # pass each multiplicity vector once — and nothing twice.
+        assert stats["loads"] == 2 * engine.shard_count
+        assert stats["words_loads"] == engine.shard_count
+        assert stats["counts_loads"] == engine.shard_count
         assert stats["evictions"] == 0
         assert stats["hits"] > 0
         engine.close()
+
+    def test_count_only_stream_charges_only_multiplicities(self, tmp_path):
+        """Words/counts residency split (the ROADMAP next-step).
+
+        A count-heavy stream — batched counting over already-built masks —
+        reads only the multiplicity vectors.  Budget the store below what
+        whole-shard accounting would need: under the old scheme every load
+        charged words + counts and would blow (or over-budget-load) this
+        budget; with the split the stream stays within it and never makes
+        a word block resident.
+        """
+        # High-cardinality schema so the word blocks dwarf the counts
+        # (Σ c_i rows per word column vs a fixed 64 counts per word), and
+        # every row duplicated so the dataset is non-uniform.
+        base = random_categorical_dataset(1500, (120, 80, 40, 16), seed=3, skew=0.4)
+        from repro.data.dataset import Dataset
+
+        dataset = Dataset(base.schema, np.vstack([base.rows, base.rows]))
+        probe = ShardedEngine(dataset, shards=4, spill_dir=str(tmp_path))
+        store = probe.store
+        counts_bytes = sum(
+            np.load(os.path.join(probe.spill_path, entry["counts_file"])).nbytes
+            for entry in store.manifest["shards"]
+        )
+        min_full_shard = min(
+            store.shard_nbytes(shard_id) for shard_id in range(store.shard_count)
+        )
+        # All multiplicity vectors fit; no single whole shard would have.
+        budget = counts_bytes
+        assert budget < min_full_shard
+        engine = ShardedEngine.attach(
+            dataset, probe.spill_path, max_resident_bytes=budget, mask_cache_size=0
+        )
+        masks = [engine.full_mask()]
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            mask = engine.full_mask()
+            mask &= rng.integers(0, 2**63, size=mask.shape, dtype=np.uint64)
+            masks.append(mask)
+        for _ in range(3):
+            engine.count_many(masks)
+            for mask in masks:
+                engine.count(mask)
+        stats = engine.store.stats()
+        assert stats["words_loads"] == 0
+        assert stats["resident_words_bytes"] == 0
+        assert stats["peak_resident_bytes"] <= budget
+        assert stats["over_budget_loads"] == 0
+        # The split is observable through the engine's cache_info too.
+        assert engine.cache_info()["store"]["counts_loads"] > 0
+        engine.close()
+        probe.close()
 
     def test_budget_requires_spill_dir(self, dataset):
         with pytest.raises(ReproError, match="requires the out-of-core mode"):

@@ -1,0 +1,241 @@
+"""The workload-aware auto planner: escalation ladder and constraints.
+
+Plans are deterministic functions of ``(WorkloadStats, requested
+EngineConfig)``; these tests pin the escalation boundaries — dense →
+packed → sharded(+workers) → out-of-core — and that explicitly requested
+knobs act as constraints, including the acceptance pin that a projected
+packed index above the memory budget selects the out-of-core mode.
+"""
+
+import pytest
+
+from repro.core.engine import (
+    AUTO,
+    DenseBoolEngine,
+    EngineConfig,
+    PackedBitsetEngine,
+    ShardedEngine,
+    WorkloadStats,
+    available_memory_bytes,
+    plan_engine,
+    resolve_engine,
+)
+from repro.core.engine.planner import (
+    DENSE_MAX_INDEX_BYTES,
+    PACKED_MAX_INDEX_BYTES,
+    SHARD_TARGET_BYTES,
+)
+from repro.core.mups.base import find_mups
+from repro.data.synthetic import random_categorical_dataset
+from repro.exceptions import EngineError
+
+
+def stats_for(
+    packed_bytes,
+    dense_bytes=None,
+    unique=1 << 20,
+    budget=1 << 30,
+    cpus=1,
+    rows=1 << 20,
+):
+    """A hand-rolled stats snapshot with the projections under test."""
+    return WorkloadStats(
+        rows=rows,
+        d=3,
+        cardinalities=(4, 4, 4),
+        projected_unique=unique,
+        projected_packed_bytes=packed_bytes,
+        projected_dense_bytes=(
+            dense_bytes if dense_bytes is not None else packed_bytes * 8
+        ),
+        memory_budget_bytes=budget,
+        cpu_count=cpus,
+    )
+
+
+class TestEscalation:
+    def test_tiny_index_plans_dense(self):
+        plan = plan_engine(stats_for(64, dense_bytes=512))
+        assert plan.config == EngineConfig(backend="dense")
+        assert any("dense" in line for line in plan.rationale)
+
+    def test_mid_size_index_plans_packed(self):
+        plan = plan_engine(
+            stats_for(1 << 20, dense_bytes=DENSE_MAX_INDEX_BYTES + 1)
+        )
+        assert plan.config == EngineConfig(backend="packed")
+
+    def test_large_index_plans_sharded(self):
+        plan = plan_engine(stats_for(PACKED_MAX_INDEX_BYTES + 1))
+        assert plan.config.backend == "sharded"
+        assert plan.config.spill_dir is None
+        # Shards sized near the per-shard target.
+        assert plan.config.shards >= (
+            (PACKED_MAX_INDEX_BYTES + 1) // SHARD_TARGET_BYTES
+        )
+
+    def test_index_over_budget_plans_out_of_core(self):
+        """Acceptance pin: projected packed bytes > memory budget selects
+        the out-of-core mode with the budget as the resident ceiling."""
+        budget = 16 << 20
+        plan = plan_engine(stats_for(1 << 30, budget=budget))
+        config = plan.config
+        assert config.backend == "sharded"
+        assert config.spill_dir is not None
+        assert config.max_resident_bytes == budget
+        assert any("out-of-core" in line for line in plan.rationale)
+
+    def test_requested_budget_overrides_probed_memory(self):
+        requested = EngineConfig(backend=AUTO, max_resident_bytes=128)
+        plan = plan_engine(stats_for(1 << 20, budget=1 << 40), requested)
+        assert plan.stats.memory_budget_bytes == 128
+        assert plan.config.max_resident_bytes == 128
+        assert plan.config.spill_dir is not None
+
+    def test_workers_planned_on_multicore_large_indices(self):
+        plan = plan_engine(
+            stats_for(PACKED_MAX_INDEX_BYTES * 4, cpus=8)
+        )
+        assert plan.config.backend == "sharded"
+        assert plan.config.workers is not None and plan.config.workers >= 2
+
+    def test_serial_on_single_core(self):
+        plan = plan_engine(stats_for(PACKED_MAX_INDEX_BYTES * 4, cpus=1))
+        assert plan.config.workers is None
+
+
+class TestConstraints:
+    def test_explicit_shards_force_sharded(self):
+        plan = plan_engine(
+            stats_for(64, dense_bytes=64), EngineConfig(backend=AUTO, shards=3)
+        )
+        assert plan.config.backend == "sharded"
+        assert plan.config.shards == 3
+
+    def test_explicit_workers_force_sharded(self):
+        plan = plan_engine(
+            stats_for(64, dense_bytes=64), EngineConfig(backend=AUTO, workers=2)
+        )
+        assert plan.config.backend == "sharded"
+        assert plan.config.workers == 2
+
+    def test_explicit_spill_dir_forces_out_of_core(self, tmp_path):
+        plan = plan_engine(
+            stats_for(64, dense_bytes=64),
+            EngineConfig(backend=AUTO, spill_dir=str(tmp_path)),
+        )
+        assert plan.config.backend == "sharded"
+        assert plan.config.spill_dir == str(tmp_path)
+        # Budget stays unlimited: the index fits, spill was a choice.
+        assert plan.config.max_resident_bytes is None
+
+    def test_process_mode_forces_out_of_core(self):
+        plan = plan_engine(
+            stats_for(64, dense_bytes=64),
+            EngineConfig(backend=AUTO, workers=2, workers_mode="process"),
+        )
+        assert plan.config.workers_mode == "process"
+        assert plan.config.spill_dir is not None
+
+    def test_mask_cache_size_passes_through(self):
+        plan = plan_engine(
+            stats_for(64, dense_bytes=64),
+            EngineConfig(backend=AUTO, mask_cache_size=0),
+        )
+        assert plan.config.mask_cache_size == 0
+
+    def test_hand_picked_backend_short_circuits(self):
+        plan = plan_engine(stats_for(1 << 40), EngineConfig(backend="dense"))
+        assert plan.config == EngineConfig(backend="dense")
+        assert "hand-picked" in plan.rationale[0]
+
+
+class TestStatsCollection:
+    def test_projected_unique_capped_by_rows_and_combinations(self):
+        small_space = random_categorical_dataset(500, (2, 2), seed=1, skew=1.0)
+        stats = WorkloadStats.of(small_space)
+        assert stats.projected_unique == 4  # Π c_i < n
+        sparse = random_categorical_dataset(10, (9, 9, 9), seed=1, skew=1.0)
+        stats = WorkloadStats.of(sparse)
+        assert stats.projected_unique == 10  # n < Π c_i
+
+    def test_projections_follow_the_packed_layout(self):
+        dataset = random_categorical_dataset(200, (3, 3, 2), seed=2, skew=1.0)
+        stats = WorkloadStats.of(dataset)
+        words = (stats.projected_unique + 63) // 64
+        assert stats.projected_packed_bytes == sum((3, 3, 2)) * words * 8
+        assert stats.projected_dense_bytes == sum((3, 3, 2)) * stats.projected_unique
+
+    def test_default_budget_comes_from_available_memory(self):
+        dataset = random_categorical_dataset(20, (2, 2), seed=2, skew=1.0)
+        stats = WorkloadStats.of(dataset)
+        assert 0 < stats.memory_budget_bytes <= available_memory_bytes()
+
+    def test_memory_probe_never_raises(self):
+        assert available_memory_bytes() >= 1
+
+    def test_memory_probe_fallbacks(self, monkeypatch):
+        import builtins
+
+        import repro.core.engine.planner as planner
+
+        real_open = builtins.open
+
+        def no_meminfo(path, *args, **kwargs):
+            if path == "/proc/meminfo":
+                raise OSError("no procfs")
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", no_meminfo)
+        # sysconf path (total physical memory) still answers...
+        assert available_memory_bytes() >= 1
+        # ...and with sysconf gone too, the constant fallback holds.
+        monkeypatch.setattr(
+            planner.os, "sysconf", lambda name: (_ for _ in ()).throw(ValueError())
+        )
+        assert available_memory_bytes() == planner.FALLBACK_MEMORY_BYTES
+
+    def test_bad_stats_rejected(self):
+        with pytest.raises(EngineError, match="rows"):
+            stats_for(64, rows=-1)
+        with pytest.raises(EngineError, match="memory budget"):
+            stats_for(64, budget=0)
+
+
+class TestEndToEnd:
+    def test_auto_resolves_and_matches_packed(self):
+        dataset = random_categorical_dataset(80, (3, 3, 2), seed=7, skew=0.8)
+        auto = find_mups(dataset, threshold=4, engine=AUTO)
+        packed = find_mups(dataset, threshold=4, engine="packed")
+        assert auto.as_set() == packed.as_set()
+
+    def test_auto_under_budget_builds_out_of_core_engine(self, tmp_path):
+        dataset = random_categorical_dataset(80, (3, 3, 2), seed=7, skew=0.8)
+        config = EngineConfig(
+            backend=AUTO, spill_dir=str(tmp_path), max_resident_bytes=16
+        )
+        engine = resolve_engine(config, dataset)
+        try:
+            assert isinstance(engine, ShardedEngine)
+            assert engine.out_of_core
+            assert engine.max_resident_bytes == 16
+            reference = PackedBitsetEngine(dataset)
+            from repro.core.pattern import Pattern
+
+            root = Pattern.root(dataset.d)
+            assert engine.coverage(root) == reference.coverage(root)
+        finally:
+            engine.close()
+
+    def test_plan_build_helper(self):
+        dataset = random_categorical_dataset(30, (2, 2, 2), seed=7, skew=1.0)
+        plan = plan_engine(dataset)
+        engine = plan.build(dataset)
+        assert isinstance(engine, DenseBoolEngine)
+
+    def test_describe_renders_stats_and_rationale(self):
+        plan = plan_engine(stats_for(1 << 30, budget=16 << 20))
+        text = plan.describe()
+        assert "engine plan: backend=sharded" in text
+        assert "memory budget" in text
+        assert "out-of-core" in text
