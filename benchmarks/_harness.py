@@ -74,3 +74,72 @@ def emit_bench(
 
 def fmt_rate(rate: float) -> str:
     return f"{rate:g}"
+
+
+# ----------------------------------------------------------------------
+# shared engine-benchmark workload (bench_planner / bench_compressed)
+# ----------------------------------------------------------------------
+
+#: Calibrate each timed sample to span at least this long, so millisecond
+#: workloads don't turn scheduler jitter on shared CI runners into
+#: spurious ratio failures.
+MIN_MEASURE_SECONDS = 0.05
+
+
+def random_patterns(dataset, k: int, seed: int, wildcard_rate: float = 0.6):
+    """``k`` random patterns over ``dataset`` (X with ``wildcard_rate``)."""
+    import numpy as np
+
+    from repro.core.pattern import Pattern, X
+
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for _ in range(k):
+        values = [
+            X if rng.random() < wildcard_rate else int(rng.integers(c))
+            for c in dataset.cardinalities
+        ]
+        patterns.append(Pattern(values))
+    return patterns
+
+
+def mask_workload(engine, patterns):
+    """The standard batched coverage workload: match masks + count_many."""
+    masks = [engine.match_mask(p) for p in patterns]
+    return engine.count_many(masks)
+
+
+def measure_engines(engines, patterns, reps: int = 5):
+    """Median per-run seconds for each engine, sampled in interleaved rounds.
+
+    Fairness matters more than raw precision here: every engine gets the
+    same number of samples, rounds interleave so machine drift lands on
+    all engines evenly, a calibration pass sizes per-engine inner repeat
+    counts so each sample spans :data:`MIN_MEASURE_SECONDS`, and the
+    median — not the min, which biases toward whoever got more lucky
+    draws — summarizes each engine.  Returns ``({label: seconds},
+    {label: counts})``; the counts are for cross-engine answer
+    verification.
+    """
+    import statistics
+
+    inner = {}
+    samples = {label: [] for label, _ in engines}
+    counts = {}
+    for label, engine in engines:
+        result, calibration = timed(mask_workload, engine, patterns)
+        counts[label] = list(result)
+        inner[label] = max(
+            1, int(MIN_MEASURE_SECONDS / max(calibration, 1e-9)) + 1
+        )
+    for _ in range(reps):
+        for label, engine in engines:
+            start = time.perf_counter()
+            for _ in range(inner[label]):
+                mask_workload(engine, patterns)
+            samples[label].append(
+                (time.perf_counter() - start) / inner[label]
+            )
+    return {
+        label: statistics.median(runs) for label, runs in samples.items()
+    }, counts

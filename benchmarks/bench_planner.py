@@ -16,77 +16,19 @@ runnable standalone (the CI planner smoke job):
 """
 
 import argparse
-import statistics
 import sys
 import tempfile
-import time
-
-import numpy as np
 
 import _config as config
-from _harness import emit_bench, timed
+from _harness import emit_bench, measure_engines, random_patterns, timed
 
 from repro.core.engine import AUTO, EngineConfig, plan_engine, resolve_engine
-from repro.core.pattern import Pattern, X
 from repro.data.synthetic import random_categorical_dataset
 
 #: The pin: auto may cost at most this factor over the best hand-tuned.
 MAX_AUTO_RATIO = 1.25
 
 N_MASKS = config.pick(256, 1024)
-REPS = 5
-
-#: Calibrate each timed measurement to span at least this long, so the
-#: millisecond workloads don't turn scheduler jitter on shared CI runners
-#: into spurious ratio failures.
-MIN_MEASURE_SECONDS = 0.05
-
-
-def _patterns(dataset, k, seed=5):
-    rng = np.random.default_rng(seed)
-    patterns = []
-    for _ in range(k):
-        values = [
-            X if rng.random() < 0.6 else int(rng.integers(c))
-            for c in dataset.cardinalities
-        ]
-        patterns.append(Pattern(values))
-    return patterns
-
-
-def _workload(engine, patterns):
-    masks = [engine.match_mask(p) for p in patterns]
-    return engine.count_many(masks)
-
-
-def _measure_engines(engines, patterns, reps=REPS):
-    """Median per-run seconds for each engine, sampled in interleaved rounds.
-
-    Fairness matters more than raw precision here: every engine gets the
-    same number of samples, rounds interleave so machine drift lands on
-    all engines evenly, a calibration pass sizes per-engine inner repeat
-    counts so each sample spans ``MIN_MEASURE_SECONDS`` (milliseconds of
-    work don't turn CI scheduler jitter into ratio failures), and the
-    median — not the min, which biases toward whoever got more lucky
-    draws — summarizes each engine.  Returns ``{label: seconds}`` and the
-    calibration counts for cross-engine answer verification.
-    """
-    inner = {}
-    samples = {label: [] for label, _ in engines}
-    counts = {}
-    for label, engine in engines:
-        result, calibration = timed(_workload, engine, patterns)
-        counts[label] = list(result)
-        inner[label] = max(1, int(MIN_MEASURE_SECONDS / max(calibration, 1e-9)) + 1)
-    for _ in range(reps):
-        for label, engine in engines:
-            start = time.perf_counter()
-            for _ in range(inner[label]):
-                _workload(engine, patterns)
-            samples[label].append(
-                (time.perf_counter() - start) / inner[label]
-            )
-    return {label: statistics.median(runs) for label, runs in samples.items()}, counts
 
 
 def smoke_matrix(spill_root, full=False):
@@ -143,7 +85,7 @@ def run(spill_root, full=False):
     rows = []
     payload = {"max_auto_ratio": MAX_AUTO_RATIO, "workloads": {}}
     for name, dataset, requested, candidates in smoke_matrix(spill_root, full):
-        patterns = _patterns(dataset, N_MASKS)
+        patterns = random_patterns(dataset, N_MASKS, seed=5)
         plan, plan_seconds = timed(plan_engine, dataset, requested)
         engines = [
             (candidate.describe(), resolve_engine(candidate, dataset))
@@ -151,7 +93,7 @@ def run(spill_root, full=False):
         ]
         engines.append(("auto", resolve_engine(plan.config, dataset)))
         try:
-            seconds, counts = _measure_engines(engines, patterns)
+            seconds, counts = measure_engines(engines, patterns)
         finally:
             for _, engine in engines:
                 engine.close()

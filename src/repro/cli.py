@@ -24,6 +24,8 @@ from repro.analysis.report import enhancement_report, mup_report
 from repro.core.coverage import CoverageOracle
 from repro.core.engine import (
     AUTO,
+    DEFAULT_ARRAY_CUTOFF,
+    DEFAULT_RUN_CUTOFF,
     DEFAULT_SHARDS,
     DEFAULT_WORKERS_MODE,
     ENGINES,
@@ -85,11 +87,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         choices=sorted(ENGINES) + [AUTO],
         help="coverage-engine backend (default 'auto': a workload-aware "
         "planner inspects the dataset and escalates dense -> packed -> "
-        "sharded -> out-of-core as the projected index grows); 'dense' "
-        "uses unpacked boolean vectors (reference), 'packed' uses uint64 "
-        "bitsets with word-level popcount (8x smaller index), 'sharded' "
-        "partitions the packed index row-wise for bounded per-kernel "
-        "working sets",
+        "sharded -> out-of-core as the projected index grows, detouring "
+        "to 'compressed' on sparse value domains); 'dense' uses unpacked "
+        "boolean vectors (reference), 'packed' uses uint64 bitsets with "
+        "word-level popcount (8x smaller index), 'sharded' partitions the "
+        "packed index row-wise for bounded per-kernel working sets, "
+        "'compressed' stores roaring-style chunked containers whose "
+        "footprint tracks the data's density",
     )
     parser.add_argument(
         "--explain-plan",
@@ -137,6 +141,23 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "sharded requires --spill-dir; with --engine auto this is the "
         "planner's memory budget — the planner goes out-of-core when the "
         "projected index exceeds it)",
+    )
+    parser.add_argument(
+        "--array-cutoff",
+        type=int,
+        default=None,
+        help="largest container cardinality kept as a sorted uint16 array "
+        "for --engine compressed (1..65536, default "
+        f"{DEFAULT_ARRAY_CUTOFF}); with --engine auto this forces the "
+        "compressed backend",
+    )
+    parser.add_argument(
+        "--run-cutoff",
+        type=int,
+        default=None,
+        help="largest interval count kept as a run container for --engine "
+        f"compressed (default {DEFAULT_RUN_CUTOFF}); with --engine auto "
+        "this forces the compressed backend",
     )
 
 

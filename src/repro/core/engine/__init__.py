@@ -1,7 +1,8 @@
 """Pluggable coverage engines (Appendix A behind one interface).
 
 Importing this package registers every backend; select one by name
-(``"dense"`` / ``"packed"`` / ``"sharded"``) — or pass a declarative
+(``"dense"`` / ``"packed"`` / ``"sharded"`` / ``"compressed"``) — or pass
+a declarative
 :class:`~repro.core.engine.config.EngineConfig`, or the name ``"auto"``
 to let the workload-aware planner (:mod:`repro.core.engine.planner`)
 choose — anywhere an ``engine=`` argument or the CLI ``--engine`` flag is
@@ -20,6 +21,13 @@ from repro.core.engine.base import (
     engine_name,
     register_engine,
     resolve_engine,
+)
+from repro.core.engine.compressed import (
+    CHUNK_BITS,
+    DEFAULT_ARRAY_CUTOFF,
+    DEFAULT_RUN_CUTOFF,
+    CompressedBitmap,
+    CompressedEngine,
 )
 from repro.core.engine.dense import DenseBoolEngine
 from repro.core.engine.mmapped import MmapShardStore, ShardStoreWriter
@@ -43,6 +51,11 @@ __all__ = [
     "DenseBoolEngine",
     "PackedBitsetEngine",
     "ShardedEngine",
+    "CompressedEngine",
+    "CompressedBitmap",
+    "CHUNK_BITS",
+    "DEFAULT_ARRAY_CUTOFF",
+    "DEFAULT_RUN_CUTOFF",
     "MmapShardStore",
     "ShardStoreWriter",
     "EngineConfig",

@@ -13,7 +13,7 @@ owns those vectors for one dataset and answers three families of queries:
 Masks are engine-specific opaque handles: callers obtain them from the
 engine (``full_mask``, ``match_mask``, ``restrict``…), hand them back to
 the engine, and never inspect them directly (``mask_to_bool`` converts
-when row identities are needed).  Three backends are registered:
+when row identities are needed).  Four backends are registered:
 
 * ``dense`` — :class:`~repro.core.engine.dense.DenseBoolEngine`, unpacked
   boolean ndarrays (the reference/ablation baseline);
@@ -26,7 +26,11 @@ when row identities are needed).  Three backends are registered:
   ``spill_dir=`` the shard blocks live in an mmap-backed spill directory
   (:class:`~repro.core.engine.mmapped.MmapShardStore`) behind a
   byte-budgeted LRU loader, and ``workers_mode="process"`` fans the
-  kernels out over a process pool attached to those files by path.
+  kernels out over a process pool attached to those files by path;
+* ``compressed`` — :class:`~repro.core.engine.compressed.CompressedEngine`,
+  roaring-style chunked containers (sorted-array / bitmap / run per 64Ki
+  combinations) whose footprint tracks the data's density — the sparse
+  value-domain backend the planner picks on high-cardinality schemas.
 
 The base class also layers a **hot-mask LRU cache** over ``match_mask``:
 repeated frontier evaluations (PATTERN-BREAKER re-visits, enhancement
@@ -410,11 +414,19 @@ def resolve_engine(
             config = EngineConfig.from_options(spec, **options)
             if options:
                 # Warn only once the options validated — a rejected call
-                # should not be told to migrate options no config accepts.
+                # should not be told to migrate options no config accepts —
+                # and spell out the exact equivalent config call.
+                migration = ", ".join(
+                    [f"backend={spec!r}"]
+                    + [
+                        f"{name}={value!r}"
+                        for name, value in sorted(options.items())
+                    ]
+                )
                 warnings.warn(
-                    "passing engine options as loose keyword arguments is "
-                    "deprecated; build a repro.core.engine.EngineConfig "
-                    "instead",
+                    f"passing engine options as loose keyword arguments is "
+                    f"deprecated; build the equivalent "
+                    f"repro.core.engine.EngineConfig({migration}) instead",
                     DeprecationWarning,
                     stacklevel=2,
                 )

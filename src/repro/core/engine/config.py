@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
 from repro.core.engine.base import DEFAULT_ENGINE, ENGINES, CoverageEngine
+from repro.core.engine.compressed import CHUNK_BITS
 from repro.core.engine.sharded import WORKERS_MODES
 from repro.exceptions import EngineError
 
@@ -45,7 +46,7 @@ AUTO = "auto"
 #: Backend names whose constructor options EngineConfig fully describes.
 #: (Custom registered backends keep their own kwargs and bypass the
 #: config-level option validation.)
-BUILTIN_BACKENDS = (AUTO, "dense", "packed", "sharded")
+BUILTIN_BACKENDS = (AUTO, "dense", "packed", "sharded", "compressed")
 
 #: Options that only the sharded backend (or the auto planner) consumes.
 _SHARDED_ONLY = (
@@ -55,6 +56,9 @@ _SHARDED_ONLY = (
     "spill_dir",
     "max_resident_bytes",
 )
+
+#: Options that only the compressed backend (or the auto planner) consumes.
+_COMPRESSED_ONLY = ("array_cutoff", "run_cutoff")
 
 
 @dataclass(frozen=True)
@@ -75,6 +79,10 @@ class EngineConfig:
             index exceeds it.
         mask_cache_size: hot-mask LRU capacity (``None`` = backend default,
             ``0`` disables caching).
+        array_cutoff: compressed backend — largest container cardinality
+            kept as a sorted ``uint16`` array (1..65536).
+        run_cutoff: compressed backend — largest interval count kept as a
+            run container (>= 1).
 
     Every field except ``backend`` defaults to ``None`` (= "backend
     default"); construction validates the combination and raises
@@ -88,10 +96,19 @@ class EngineConfig:
     spill_dir: Optional[str] = None
     max_resident_bytes: Optional[int] = None
     mask_cache_size: Optional[int] = None
+    array_cutoff: Optional[int] = None
+    run_cutoff: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Normalize numerics up front so equality / round-trips are exact.
-        for name in ("shards", "workers", "max_resident_bytes", "mask_cache_size"):
+        for name in (
+            "shards",
+            "workers",
+            "max_resident_bytes",
+            "mask_cache_size",
+            "array_cutoff",
+            "run_cutoff",
+        ):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, int(value))
@@ -128,6 +145,49 @@ class EngineConfig:
                     f"(--engine sharded) or the auto planner (--engine auto), "
                     f"not {self.backend!r}"
                 )
+        if self.backend not in (AUTO, "compressed"):
+            offending = [
+                name
+                for name in _COMPRESSED_ONLY
+                if getattr(self, name) is not None
+            ]
+            if offending:
+                raise EngineError(
+                    f"{'/'.join(offending)} only apply to the compressed "
+                    f"backend (--engine compressed) or the auto planner "
+                    f"(--engine auto), not {self.backend!r}"
+                )
+        if self.is_auto:
+            # max_resident_bytes is excluded: under auto it is the
+            # planner's memory budget, which constrains any backend.
+            sharded_set = [
+                name
+                for name in _SHARDED_ONLY
+                if name != "max_resident_bytes"
+                and getattr(self, name) is not None
+            ]
+            compressed_set = [
+                name
+                for name in _COMPRESSED_ONLY
+                if getattr(self, name) is not None
+            ]
+            if sharded_set and compressed_set:
+                raise EngineError(
+                    f"{'/'.join(sharded_set)} force the sharded backend but "
+                    f"{'/'.join(compressed_set)} force the compressed one; "
+                    f"an auto plan cannot honour both"
+                )
+        if self.array_cutoff is not None and not (
+            1 <= self.array_cutoff <= CHUNK_BITS
+        ):
+            raise EngineError(
+                f"array_cutoff must be in [1, {CHUNK_BITS}], "
+                f"got {self.array_cutoff}"
+            )
+        if self.run_cutoff is not None and self.run_cutoff < 1:
+            raise EngineError(
+                f"run_cutoff must be >= 1, got {self.run_cutoff}"
+            )
         if self.shards is not None and self.shards < 1:
             raise EngineError(f"shard count must be >= 1, got {self.shards}")
         if self.workers is not None and self.workers < 1:
@@ -218,6 +278,8 @@ class EngineConfig:
             spill_dir=getattr(args, "spill_dir", None),
             max_resident_bytes=getattr(args, "max_resident_bytes", None),
             mask_cache_size=getattr(args, "mask_cache_size", None),
+            array_cutoff=getattr(args, "array_cutoff", None),
+            run_cutoff=getattr(args, "run_cutoff", None),
         )
 
     # ------------------------------------------------------------------
@@ -253,6 +315,11 @@ class EngineConfig:
             options["mask_cache_size"] = self.mask_cache_size
         if self.backend == "sharded":
             for name in _SHARDED_ONLY:
+                value = getattr(self, name)
+                if value is not None:
+                    options[name] = value
+        if self.backend == "compressed":
+            for name in _COMPRESSED_ONLY:
                 value = getattr(self, name)
                 if value is not None:
                     options[name] = value

@@ -21,22 +21,32 @@ ladder:
 projected packed index    chosen backend
 ========================  =====================================================
 dense index ≤ 256 KiB     ``dense`` — unpacked bools beat packing overhead
-≤ 32 MiB                  ``packed`` — 8× smaller index, word-level popcount
+sparse value domain       ``compressed`` — chunked containers, when the
+                          index density sits under the sparsity cutoff and
+                          the calibrated cost model favours them
+≤ single-index ceiling    ``packed`` — 8× smaller index, word-level popcount
 ≤ memory budget           ``sharded`` — bounded per-kernel working sets,
                           thread fan-out once the index is worth splitting
 > memory budget           ``sharded`` out-of-core — spill + mmap streaming
                           under ``max_resident_bytes`` = the budget
 ========================  =====================================================
 
+The packed → sharded boundary is no longer a bare byte constant: it is
+derived from a calibrated cost model (measured fused-kernel scan
+throughput × a per-query latency target), and the packed → compressed
+decision compares the two representations' projected scan work — bytes ×
+relative per-byte cost — instead of adding another hard ceiling.
+
 Explicitly requested knobs are **constraints, not suggestions**: ``shards``
 / ``workers`` / ``workers_mode`` force at least the sharded backend,
-``spill_dir`` forces the out-of-core mode, and ``max_resident_bytes`` (on
-``backend="auto"``) sets the memory budget the escalation compares
+``spill_dir`` forces the out-of-core mode, ``array_cutoff`` /
+``run_cutoff`` force the compressed backend, and ``max_resident_bytes``
+(on ``backend="auto"``) sets the memory budget the escalation compares
 against.  Plans are deterministic functions of ``(stats, requested
 config)``, which the property suite pins.
 
-Every future backend (compressed/roaring value domains, network shard
-placement) slots in behind this single decision point.
+Every future backend (network shard placement, incremental spill reuse)
+slots in behind this single decision point.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ import tempfile
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple, Union
 
+from repro.core.engine.compressed import CHUNK_BITS, DEFAULT_ARRAY_CUTOFF
 from repro.core.engine.config import AUTO, EngineConfig
 from repro.core.engine.sharded import DEFAULT_SHARDS
 from repro.data.dataset import Dataset
@@ -57,8 +68,34 @@ _WORD_BITS = 64
 #: Keep the dense reference representation while its bool index fits here.
 DENSE_MAX_INDEX_BYTES = 256 << 10
 
-#: Keep a single packed index while its word blocks fit here.
-PACKED_MAX_INDEX_BYTES = 32 << 20
+#: Calibrated effective scan throughput of the fused packed kernels
+#: (bytes/second), measured by benchmarks/bench_planner.py smoke runs and
+#: set conservatively so slower machines still escalate in time.
+PACKED_SCAN_BYTES_PER_SECOND = 4 << 30
+
+#: Per-query latency target one flat index scan should stay under before
+#: sharding pays for its bounded per-kernel working sets.
+SINGLE_INDEX_TARGET_SECONDS = 0.008
+
+#: Keep a single packed index while one scan of it meets the latency
+#: target.  (Previously a hard-coded 32 MiB byte ceiling; now derived
+#: from the calibrated cost model above — same operating point, but the
+#: knobs are measurable quantities.)
+PACKED_MAX_INDEX_BYTES = int(
+    PACKED_SCAN_BYTES_PER_SECOND * SINGLE_INDEX_TARGET_SECONDS
+)
+
+#: Per-byte scan cost of the chunked compressed kernels relative to the
+#: fused packed kernels.  benchmarks/bench_compressed.py measures the
+#: sparse-end per-byte factor *below* parity (the array kernels touch
+#: only set positions), so this is a safety margin for weighted-count-
+#: heavy shapes near the sparsity cutoff, not a python-dispatch penalty.
+COMPRESSED_SCAN_COST_RATIO = 1.25
+
+#: Index density (``d / Σ c_i`` — the fraction of index bits set) at or
+#: below which a value domain counts as sparse; the measured cutoff the
+#: compressed-vs-packed decision starts from.
+SPARSE_INDEX_DENSITY = 1 / 32
 
 #: Target bytes per shard when the planner sizes a sharded index.
 SHARD_TARGET_BYTES = 8 << 20
@@ -114,6 +151,30 @@ def available_memory_bytes() -> int:
         return FALLBACK_MEMORY_BYTES
 
 
+def _project_compressed_bytes(
+    cardinalities: Tuple[int, ...], unique: int
+) -> int:
+    """Projected compressed-index bytes from the schema alone.
+
+    Each attribute value's membership vector carries ``~unique/c_i`` set
+    bits; chunks whose expected population fits a sorted array cost two
+    bytes per set bit, denser chunks fall back to bitmap words.  An upper
+    bound like the other projections — run containers only shrink it.
+    """
+    if unique <= 0:
+        return 0
+    chunks = (unique + CHUNK_BITS - 1) // CHUNK_BITS
+    total = 0.0
+    for cardinality in cardinalities:
+        expected_per_chunk = CHUNK_BITS / max(cardinality, 1)
+        if expected_per_chunk <= DEFAULT_ARRAY_CUTOFF:
+            per_row = 2.0 * unique / max(cardinality, 1)
+        else:
+            per_row = chunks * (CHUNK_BITS // 8)
+        total += cardinality * per_row
+    return int(total)
+
+
 def _fmt_bytes(nbytes: int) -> str:
     """Human-readable byte count for rationale lines."""
     value = float(nbytes)
@@ -145,6 +206,13 @@ class WorkloadStats:
             (``Σ c_i × unique``).
         memory_budget_bytes: bytes the plan may keep resident.
         cpu_count: cores available for worker fan-out.
+        index_density: fraction of index bits set, ``d / Σ c_i`` (each
+            unique combination sets exactly one bit per attribute) — the
+            measured sparsity the compressed-vs-packed decision reads.
+            Derived when not supplied.
+        projected_compressed_bytes: projected compressed-index bytes
+            (container arithmetic over the schema).  Derived when not
+            supplied.
     """
 
     rows: int
@@ -155,6 +223,8 @@ class WorkloadStats:
     projected_dense_bytes: int
     memory_budget_bytes: int
     cpu_count: int
+    index_density: Optional[float] = None
+    projected_compressed_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rows < 0:
@@ -162,6 +232,21 @@ class WorkloadStats:
         if self.memory_budget_bytes < 1:
             raise EngineError(
                 f"memory budget must be >= 1 byte, got {self.memory_budget_bytes}"
+            )
+        # Derive the sparsity measures when a hand-rolled snapshot (tests,
+        # benchmarks) leaves them out, so every snapshot is complete.
+        if self.index_density is None:
+            total = sum(self.cardinalities)
+            object.__setattr__(
+                self, "index_density", (self.d / total) if total else 1.0
+            )
+        if self.projected_compressed_bytes is None:
+            object.__setattr__(
+                self,
+                "projected_compressed_bytes",
+                _project_compressed_bytes(
+                    self.cardinalities, self.projected_unique
+                ),
             )
 
     @classmethod
@@ -224,6 +309,8 @@ class EnginePlan:
             f"projected_unique={stats.projected_unique}",
             f"  projections: packed index ~{_fmt_bytes(stats.projected_packed_bytes)}, "
             f"dense index ~{_fmt_bytes(stats.projected_dense_bytes)}, "
+            f"compressed index ~{_fmt_bytes(stats.projected_compressed_bytes)} "
+            f"(density {stats.index_density:.4f}), "
             f"memory budget {_fmt_bytes(stats.memory_budget_bytes)}, "
             f"cores={stats.cpu_count}",
         ]
@@ -284,6 +371,7 @@ def plan_engine(
     rationale = []
     budget = stats.memory_budget_bytes
     packed_bytes = stats.projected_packed_bytes
+    compressed_bytes = stats.projected_compressed_bytes
     forced_out_of_core = (
         requested.spill_dir is not None or requested.workers_mode == "process"
     )
@@ -291,8 +379,75 @@ def plan_engine(
         value is not None
         for value in (requested.shards, requested.workers, requested.workers_mode)
     )
+    forced_compressed = any(
+        value is not None
+        for value in (requested.array_cutoff, requested.run_cutoff)
+    )
+    # The compressed-vs-packed cost model: the domain must measure sparse,
+    # and the compressed index's projected scan work (bytes x relative
+    # per-byte cost) must undercut the packed scan.
+    sparse_domain = stats.index_density <= SPARSE_INDEX_DENSITY
+    compressed_wins = (
+        compressed_bytes * COMPRESSED_SCAN_COST_RATIO < packed_bytes
+    )
+    # Compressed can also stand in for a *single* flat index where packed
+    # would have to shard: its cost-scaled scan must meet the same
+    # latency-target ceiling the packed index is held to.
+    compressed_single_index = (
+        sparse_domain
+        and compressed_wins
+        and compressed_bytes * COMPRESSED_SCAN_COST_RATIO
+        <= PACKED_MAX_INDEX_BYTES
+    )
+
+    if forced_compressed:
+        rationale.append(
+            "compressed backend forced by explicit container-threshold "
+            "request (array_cutoff / run_cutoff)"
+        )
+        if compressed_bytes > budget:
+            # Constraints are honoured even when they hurt, but never
+            # silently: the over-budget projection is visible in the plan.
+            rationale.append(
+                f"warning: projected compressed index "
+                f"{_fmt_bytes(compressed_bytes)} exceeds the memory budget "
+                f"{_fmt_bytes(budget)}; the explicit container thresholds "
+                f"keep the plan in-RAM compressed anyway"
+            )
+        config = EngineConfig(
+            backend="compressed",
+            array_cutoff=requested.array_cutoff,
+            run_cutoff=requested.run_cutoff,
+            mask_cache_size=requested.mask_cache_size,
+        )
+        return EnginePlan(config=config, stats=stats, rationale=tuple(rationale))
 
     if packed_bytes > budget or forced_out_of_core:
+        if (
+            not forced_out_of_core
+            and not forced_sharded
+            and sparse_domain
+            and compressed_wins
+            and compressed_bytes <= budget
+        ):
+            # Sparse escape hatch: spilling to disk is pointless when the
+            # compressed representation of the same index fits the memory
+            # budget entirely in RAM.  Deliberately *not* gated on the
+            # single-index latency ceiling — a long in-RAM scan still
+            # beats mmap streaming from disk.
+            rationale.append(
+                f"projected packed index {_fmt_bytes(packed_bytes)} exceeds "
+                f"the memory budget {_fmt_bytes(budget)}, but the sparse "
+                f"domain's compressed index {_fmt_bytes(compressed_bytes)} "
+                f"fits it in RAM -> compressed instead of out-of-core spill"
+            )
+            config = EngineConfig(
+                backend="compressed",
+                mask_cache_size=requested.mask_cache_size,
+            )
+            return EnginePlan(
+                config=config, stats=stats, rationale=tuple(rationale)
+            )
         if packed_bytes > budget:
             rationale.append(
                 f"projected packed index {_fmt_bytes(packed_bytes)} exceeds "
@@ -329,7 +484,9 @@ def plan_engine(
             max_resident_bytes=max_resident,
             mask_cache_size=requested.mask_cache_size,
         )
-    elif forced_sharded or packed_bytes > PACKED_MAX_INDEX_BYTES:
+    elif forced_sharded or (
+        packed_bytes > PACKED_MAX_INDEX_BYTES and not compressed_single_index
+    ):
         if forced_sharded:
             rationale.append(
                 "sharded backend forced by explicit shards/workers request"
@@ -359,6 +516,17 @@ def plan_engine(
         )
         config = EngineConfig(
             backend="dense", mask_cache_size=requested.mask_cache_size
+        )
+    elif compressed_single_index:
+        rationale.append(
+            f"index density {stats.index_density:.4f} <= sparsity cutoff "
+            f"{SPARSE_INDEX_DENSITY:.4f} and projected compressed index "
+            f"{_fmt_bytes(compressed_bytes)} x {COMPRESSED_SCAN_COST_RATIO:g} "
+            f"scan-cost beats packed {_fmt_bytes(packed_bytes)} -> compressed "
+            f"(chunked containers, no dense words for sparse chunks)"
+        )
+        config = EngineConfig(
+            backend="compressed", mask_cache_size=requested.mask_cache_size
         )
     else:
         rationale.append(

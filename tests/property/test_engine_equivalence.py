@@ -3,7 +3,8 @@
 Every registered coverage engine — ``dense``, ``packed``, ``sharded`` at
 several shard counts, the out-of-core sharded engine (spilled to a
 temporary directory, with eviction forced by a one-shard resident budget),
-and whatever the ``auto`` planner emits for the generated dataset
+whatever the ``auto`` planner emits for the generated dataset, and
+``compressed`` at stock and adversarial container thresholds
 — with the hot-mask cache both enabled and disabled, must give
 bit-identical answers on every query family: point coverage, batched
 ``count_many`` / ``coverage_many``, sibling families from
@@ -26,6 +27,7 @@ from hypothesis import given, settings
 
 from repro.core.engine import (
     AUTO,
+    CompressedEngine,
     DenseBoolEngine,
     EngineConfig,
     PackedBitsetEngine,
@@ -108,6 +110,21 @@ def engine_matrix(dataset, mask_cache_size):
             resolve_engine(
                 EngineConfig(backend=AUTO, mask_cache_size=mask_cache_size),
                 dataset,
+            )
+        )
+        # Compressed at stock thresholds (sorted-array/run containers on
+        # these small domains) and at adversarial ones (array_cutoff=1
+        # forces bitmap containers, run_cutoff=1 rejects multi-run chunks),
+        # so every container pairing is exercised.
+        engines.append(
+            CompressedEngine(dataset, mask_cache_size=mask_cache_size)
+        )
+        engines.append(
+            CompressedEngine(
+                dataset,
+                mask_cache_size=mask_cache_size,
+                array_cutoff=1,
+                run_cutoff=1,
             )
         )
         try:

@@ -50,6 +50,17 @@ def auto_requests(draw):
     workers_mode = draw(st.sampled_from([None, "thread"]))
     if workers is not None and draw(st.booleans()):
         workers_mode = "process"
+    array_cutoff = None
+    run_cutoff = None
+    if shards is None and workers is None and workers_mode is None:
+        # Container thresholds force the compressed backend; the validator
+        # rejects combining them with the sharded-forcing knobs.
+        array_cutoff = draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=1 << 16))
+        )
+        run_cutoff = draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=1 << 12))
+        )
     return EngineConfig(
         backend=AUTO,
         shards=shards,
@@ -59,6 +70,8 @@ def auto_requests(draw):
             st.one_of(st.none(), st.integers(min_value=1, max_value=1 << 40))
         ),
         mask_cache_size=draw(st.sampled_from([None, 0, 16])),
+        array_cutoff=array_cutoff,
+        run_cutoff=run_cutoff,
     )
 
 
@@ -85,13 +98,27 @@ def test_every_emitted_plan_is_concrete_and_valid(stats, requested):
         assert config.workers == requested.workers
     if requested.mask_cache_size is not None:
         assert config.mask_cache_size == requested.mask_cache_size
-    # The acceptance invariant: over-budget projections go out-of-core.
+    forced_compressed = (
+        requested.array_cutoff is not None or requested.run_cutoff is not None
+    )
+    if forced_compressed:
+        # Container thresholds are constraints: the plan must honour them.
+        assert config.backend == "compressed"
+        assert config.array_cutoff == requested.array_cutoff
+        assert config.run_cutoff == requested.run_cutoff
+        return
+    # The acceptance invariant: over-budget projections go out-of-core —
+    # unless the sparse domain's compressed index fits the budget in RAM,
+    # in which case spilling to disk would be strictly worse.
     budget = (
         requested.max_resident_bytes
         if requested.max_resident_bytes is not None
         else stats.memory_budget_bytes
     )
     if stats.projected_packed_bytes > budget:
-        assert config.backend == "sharded"
-        assert config.spill_dir is not None
-        assert config.max_resident_bytes == budget
+        if config.backend == "compressed":
+            assert stats.projected_compressed_bytes <= budget
+        else:
+            assert config.backend == "sharded"
+            assert config.spill_dir is not None
+            assert config.max_resident_bytes == budget

@@ -4,8 +4,8 @@ The fixture factory synthesizes a dataset whose packed word space (the
 out-of-core index on disk) deliberately exceeds a tiny
 ``max_resident_bytes``, then pins the out-of-core engine against the
 in-memory backends: MUP sets must be identical across ``dense`` /
-``packed`` / ``sharded`` / out-of-core for **all five** identification
-algorithms, while the loader instrumentation proves the engine streamed —
+``packed`` / ``sharded`` / ``compressed`` / out-of-core for **all five**
+identification algorithms, while the loader instrumentation proves the engine streamed —
 resident shard bytes never exceeded the budget and shards were actually
 evicted.  This is the test that keeps "datasets bigger than memory" a
 working scenario instead of an aspiration.
@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import DenseBoolEngine, PackedBitsetEngine, ShardedEngine
+from repro.core.engine import (
+    CompressedEngine,
+    DenseBoolEngine,
+    PackedBitsetEngine,
+    ShardedEngine,
+)
 from repro.core.mups.base import ALGORITHMS, find_mups
 from repro.core.pattern import Pattern
 from repro.data.synthetic import random_categorical_dataset
@@ -81,6 +86,7 @@ def test_mup_sets_identical_across_engines_under_budget(tmp_path, algorithm):
         for engine in (
             PackedBitsetEngine(dataset),
             ShardedEngine(dataset, shards=3),
+            CompressedEngine(dataset),
             out_of_core,
         ):
             result = find_mups(

@@ -92,6 +92,26 @@ class TestOptionForwarding:
         assert rebuilt.requested_shards == 3
         assert engine_name(template) == "sharded"
 
+    def test_deprecation_warning_spells_out_the_equivalent_config(
+        self, dataset
+    ):
+        """The legacy-kwargs shim must name the migration target exactly:
+        the EngineConfig(...) call that replaces the deprecated call, not
+        just the parameter style."""
+        with pytest.warns(DeprecationWarning) as caught:
+            resolve_engine("sharded", dataset, shards=2, mask_cache_size=0)
+        message = str(caught[0].message)
+        assert (
+            "repro.core.engine.EngineConfig"
+            "(backend='sharded', mask_cache_size=0, shards=2)"
+        ) in message
+        with pytest.warns(DeprecationWarning) as caught:
+            resolve_engine("packed", dataset, mask_cache_size=4)
+        assert (
+            "EngineConfig(backend='packed', mask_cache_size=4)"
+            in str(caught[0].message)
+        )
+
 
 class TestShardClamping:
     def test_more_shards_than_rows_clamps(self, dataset):
