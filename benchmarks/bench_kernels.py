@@ -1,0 +1,252 @@
+"""Kernel-tier benchmark: the fused scan kernels vs a scalar baseline.
+
+The hottest loop in every backend is the fused AND+popcount scan behind
+``count_many`` / ``restrict_children``.  This bench times three
+implementations of the same ``(K, W)`` stacked-mask workload:
+
+* **scalar** — a per-mask, per-word Python loop (what a naive port looks
+  like, and the baseline the compiled tier is sold against);
+* **python tier** — the numpy kernels the engines always shipped;
+* **jit tier** — the numba kernels, when numba is installed.
+
+Two pins gate the result:
+
+* the active tier beats the scalar baseline by at least
+  ``MIN_HEADLINE_SPEEDUP`` (5x) on the headline AND+popcount scan;
+* routing the python tier through the ``Kernels`` dispatch costs at most
+  ``MAX_PYTHON_OVERHEAD`` (1.05x) over calling the seed-path numpy
+  helpers directly — the fallback must not tax the engines.
+
+Emits the canonical ``BENCH_kernels.json`` via the shared writer; the
+payload records whether numba was importable and the measured
+jit-over-python ratio (``null`` without numba).  Also runnable standalone
+(the CI kernel smoke job)::
+
+    python benchmarks/bench_kernels.py --smoke
+"""
+
+import argparse
+import statistics
+import sys
+import time
+
+import numpy as np
+
+import _config as config
+from _harness import MIN_MEASURE_SECONDS, emit_bench
+
+from repro.core.engine.kernels import (
+    PYTHON_KERNELS,
+    get_kernels,
+    numba_available,
+)
+from repro.data.bitset import weighted_count_rows
+
+#: The headline pin: active tier over the scalar per-mask baseline.
+MIN_HEADLINE_SPEEDUP = 5.0
+
+#: The fallback pin: python tier through dispatch over the direct seed path.
+MAX_PYTHON_OVERHEAD = 1.05
+
+N_MASKS = config.pick(128, 512)
+N_WORDS = config.pick(512, 2048)
+
+
+def measure(fn, *args, reps=5):
+    """Median per-call seconds, calibrated to span MIN_MEASURE_SECONDS."""
+    result, calibration = None, 0.0
+    start = time.perf_counter()
+    result = fn(*args)
+    calibration = time.perf_counter() - start
+    inner = max(1, int(MIN_MEASURE_SECONDS / max(calibration, 1e-9)) + 1)
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn(*args)
+        samples.append((time.perf_counter() - start) / inner)
+    return result, statistics.median(samples)
+
+
+def scalar_scan(window, matrix):
+    """The per-mask, per-word baseline: no vectorization anywhere."""
+    out = []
+    for r in range(matrix.shape[0]):
+        total = 0
+        for i in range(matrix.shape[1]):
+            total += int(window[i] & matrix[r, i]).bit_count()
+        out.append(total)
+    return out
+
+
+def scalar_intersect(a, b):
+    """Two-pointer sorted intersection in pure Python."""
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def kernel_scan(kernels, window, matrix):
+    """The fused AND+popcount scan as the engines run it."""
+    return kernels.count_rows(kernels.and_family(window, matrix), None)
+
+
+def seed_scan(window, matrix):
+    """The pre-dispatch seed path: direct numpy helper calls."""
+    return weighted_count_rows(np.bitwise_and(window[np.newaxis, :], matrix), None)
+
+
+def run():
+    rng = np.random.default_rng(17)
+    window = rng.integers(0, 1 << 64, size=N_WORDS, dtype=np.uint64)
+    matrix = rng.integers(
+        0, 1 << 64, size=(N_MASKS, N_WORDS), dtype=np.uint64
+    )
+    sorted_a = np.unique(
+        rng.integers(0, 1 << 16, size=8192, dtype=np.int64)
+    ).astype(np.uint16)
+    sorted_b = np.unique(
+        rng.integers(0, 1 << 16, size=256, dtype=np.int64)
+    ).astype(np.uint16)
+
+    active = get_kernels(None)
+    rows = []
+    payload = {
+        "n_masks": N_MASKS,
+        "n_words": N_WORDS,
+        "active_tier": active.tier,
+        "pins": {
+            "min_headline_speedup": MIN_HEADLINE_SPEEDUP,
+            "max_python_overhead": MAX_PYTHON_OVERHEAD,
+        },
+    }
+
+    # --- headline: stacked AND+popcount scan --------------------------
+    scalar_counts, scalar_seconds = measure(scalar_scan, window, matrix)
+    kernel_counts, kernel_seconds = measure(kernel_scan, active, window, matrix)
+    assert list(kernel_counts) == scalar_counts  # same answers, always
+    headline_speedup = scalar_seconds / kernel_seconds
+    payload["headline"] = {
+        "kernel": "and+popcount scan",
+        "scalar_seconds": scalar_seconds,
+        "tier_seconds": kernel_seconds,
+        "speedup": headline_speedup,
+    }
+    rows.append(
+        (
+            "and+popcount scan",
+            active.tier,
+            f"{scalar_seconds:.5f}",
+            f"{kernel_seconds:.5f}",
+            f"{headline_speedup:.1f}x",
+        )
+    )
+
+    # --- secondary: sorted-container intersection ---------------------
+    scalar_hits, scalar_isect = measure(
+        scalar_intersect, sorted_a.tolist(), sorted_b.tolist()
+    )
+    kernel_hits, kernel_isect = measure(
+        active.intersect_sorted, sorted_a, sorted_b
+    )
+    assert list(kernel_hits) == scalar_hits
+    payload["intersect"] = {
+        "scalar_seconds": scalar_isect,
+        "tier_seconds": kernel_isect,
+        "speedup": scalar_isect / kernel_isect,
+    }
+    rows.append(
+        (
+            "sorted intersect",
+            active.tier,
+            f"{scalar_isect:.5f}",
+            f"{kernel_isect:.5f}",
+            f"{scalar_isect / kernel_isect:.1f}x",
+        )
+    )
+
+    # --- fallback overhead: dispatch vs the direct seed path ----------
+    _, seed_seconds = measure(seed_scan, window, matrix)
+    _, dispatch_seconds = measure(
+        kernel_scan, PYTHON_KERNELS, window, matrix
+    )
+    overhead = dispatch_seconds / seed_seconds
+    payload["overhead"] = {
+        "seed_seconds": seed_seconds,
+        "python_tier_seconds": dispatch_seconds,
+        "python_over_seed_ratio": overhead,
+    }
+    rows.append(
+        (
+            "python dispatch",
+            "python",
+            f"{seed_seconds:.5f}",
+            f"{dispatch_seconds:.5f}",
+            f"{overhead:.2f}x",
+        )
+    )
+
+    # --- jit-over-python, when both tiers exist -----------------------
+    jit_ratio = None
+    if numba_available():
+        jit = get_kernels("jit")
+        warm = kernel_scan(jit, window, matrix)  # compile outside timing
+        assert list(warm) == scalar_counts
+        _, python_seconds = measure(kernel_scan, PYTHON_KERNELS, window, matrix)
+        _, jit_seconds = measure(kernel_scan, jit, window, matrix)
+        jit_ratio = python_seconds / jit_seconds
+        rows.append(
+            (
+                "and+popcount scan",
+                "jit vs python",
+                f"{python_seconds:.5f}",
+                f"{jit_seconds:.5f}",
+                f"{jit_ratio:.1f}x",
+            )
+        )
+    payload["jit"] = {
+        "available": numba_available(),
+        "jit_over_python": jit_ratio,
+    }
+
+    emit_bench(
+        "kernels",
+        f"kernel tiers vs scalar baseline ({N_MASKS} masks x {N_WORDS} words)",
+        ["kernel", "tier", "baseline s", "tier s", "speedup"],
+        rows,
+        payload,
+    )
+
+    # The pins (a failed pin exits nonzero in the CI smoke job).
+    assert headline_speedup >= MIN_HEADLINE_SPEEDUP, headline_speedup
+    assert overhead <= MAX_PYTHON_OVERHEAD, overhead
+    return payload
+
+
+def test_bench_kernels():
+    run()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke", action="store_true", help="smoke sizes (the default)"
+    )
+    mode.add_argument("--full", action="store_true", help="paper-sized runs")
+    parser.parse_args(argv)
+    run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from repro.core.engine import (
     DEFAULT_SHARDS,
     DEFAULT_WORKERS_MODE,
     ENGINES,
+    KERNEL_TIERS,
     WORKERS_MODES,
     CoverageEngine,
     EngineConfig,
@@ -39,7 +40,7 @@ from repro.core.engine import (
 from repro.core.enhancement.greedy import greedy_cover
 from repro.core.enhancement.expansion import uncovered_at_level
 from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
-from repro.core.mups.base import ALGORITHMS, find_mups
+from repro.core.mups.base import ALGORITHMS, algorithm_query_shape, find_mups
 from repro.core.pattern_graph import PatternSpace
 from repro.data.compas import load_compas
 from repro.data.dataset import Dataset
@@ -96,10 +97,21 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "footprint tracks the data's density",
     )
     parser.add_argument(
+        "--kernel-tier",
+        default=None,
+        choices=sorted(KERNEL_TIERS),
+        help="inner-loop kernel tier (default 'auto': numba-jitted kernels "
+        "when numba is importable, bit-identical pure-python/numpy "
+        "otherwise); 'jit' requires numba (pip install '.[jit]') and "
+        "errors without it, 'python' forces the fallback; the REPRO_KERNELS "
+        "environment variable sets the same switch process-wide",
+    )
+    parser.add_argument(
         "--explain-plan",
         action="store_true",
-        help="print the engine plan (chosen backend + rationale) before "
-        "running the command",
+        help="print the engine plan (chosen backend + rationale, including "
+        "the query-shape/kernel-tier cost model) before running the "
+        "command",
     )
     parser.add_argument(
         "--shards",
@@ -171,7 +183,12 @@ def _build_engine(args: argparse.Namespace, dataset: Dataset) -> CoverageEngine:
     rationale before the command runs.
     """
     config = EngineConfig.from_cli_args(args)
-    plan = plan_engine(dataset, config)
+    # The chosen algorithm fixes how the engine will be queried (DFS point
+    # probes vs level-sweep batches); plan with that shape so the cost
+    # model's ceiling matches the workload.  Commands without an
+    # --algorithm flag (demo) run deepdiver.
+    shape = algorithm_query_shape(getattr(args, "algorithm", "deepdiver"))
+    plan = plan_engine(dataset, config, query_shape=shape)
     if getattr(args, "explain_plan", False):
         print(plan.describe())
         print()

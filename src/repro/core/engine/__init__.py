@@ -39,11 +39,23 @@ from repro.core.engine.sharded import (
     ShardedEngine,
 )
 from repro.core.engine.config import AUTO, BUILTIN_BACKENDS, EngineConfig
+from repro.core.engine.kernels import (
+    KERNEL_TIERS,
+    REPRO_KERNELS_ENV,
+    Kernels,
+    get_kernels,
+    numba_available,
+    resolve_kernel_tier,
+)
 from repro.core.engine.planner import (
+    QUERY_SHAPES,
     EnginePlan,
     WorkloadStats,
     available_memory_bytes,
+    invalidate_stats_cache,
     plan_engine,
+    set_available_memory_bytes,
+    stats_cache_info,
 )
 
 __all__ = [
@@ -63,6 +75,16 @@ __all__ = [
     "WorkloadStats",
     "plan_engine",
     "available_memory_bytes",
+    "set_available_memory_bytes",
+    "stats_cache_info",
+    "invalidate_stats_cache",
+    "QUERY_SHAPES",
+    "Kernels",
+    "KERNEL_TIERS",
+    "REPRO_KERNELS_ENV",
+    "get_kernels",
+    "numba_available",
+    "resolve_kernel_tier",
     "AUTO",
     "BUILTIN_BACKENDS",
     "ENGINES",

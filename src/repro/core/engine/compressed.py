@@ -197,14 +197,20 @@ class CompressedEngine(CoverageEngine):
         mask_cache_size: int = DEFAULT_MASK_CACHE,
         array_cutoff: Optional[int] = None,
         run_cutoff: Optional[int] = None,
+        kernel_tier: str = None,
     ) -> None:
-        super().__init__(dataset, mask_cache_size=mask_cache_size)
+        super().__init__(
+            dataset, mask_cache_size=mask_cache_size, kernel_tier=kernel_tier
+        )
         # One validator for constructor and config callers (lazy import:
         # the config module imports this one for its constants).
         from repro.core.engine.config import EngineConfig
 
         EngineConfig.from_options(
-            "compressed", array_cutoff=array_cutoff, run_cutoff=run_cutoff
+            "compressed",
+            array_cutoff=array_cutoff,
+            run_cutoff=run_cutoff,
+            kernel_tier=kernel_tier,
         )
         self._array_cutoff = (
             DEFAULT_ARRAY_CUTOFF if array_cutoff is None else int(array_cutoff)
@@ -319,12 +325,15 @@ class CompressedEngine(CoverageEngine):
         return (BITMAP, words)
 
     def _normalize_runs(
-        self, runs: List[Tuple[int, int]], chunk_len: int
+        self, runs, chunk_len: int
     ) -> Optional[Container]:
-        """An interval-intersection result as its best representation."""
-        if not runs:
+        """An interval-intersection result as its best representation.
+
+        ``runs`` is a ``(k, 2)`` array (or list of pairs) of intervals.
+        """
+        if len(runs) == 0:
             return None
-        data = np.array(runs, dtype=np.int32)
+        data = np.asarray(runs, dtype=np.int32)
         if len(data) <= self._run_cutoff:
             return (RUN, data)
         cardinality = int((data[:, 1] - data[:, 0]).sum())
@@ -338,20 +347,11 @@ class CompressedEngine(CoverageEngine):
         """``array AND other`` without leaving the sorted-array domain."""
         kind, data = other
         if kind == ARRAY:
-            kept = np.intersect1d(array, data, assume_unique=True)
+            kept = self._kernels.intersect_sorted(array, data)
         elif kind == BITMAP:
-            idx = array.astype(np.int64)
-            bits = (
-                data[idx >> 6] >> (idx & 63).astype(np.uint64)
-            ) & np.uint64(1)
-            kept = array[bits.astype(bool)]
+            kept = self._kernels.array_select_bitmap(array, data)
         else:  # RUN
-            idx = array.astype(np.int64)
-            position = np.searchsorted(data[:, 0], idx, side="right") - 1
-            inside = (position >= 0) & (
-                idx < data[np.maximum(position, 0), 1]
-            )
-            kept = array[inside]
+            kept = self._kernels.array_select_runs(array, data)
         if not len(kept):
             return None
         return (ARRAY, kept)
@@ -377,18 +377,9 @@ class CompressedEngine(CoverageEngine):
                 np.bitwise_and(data_a, data_b), chunk_len
             )
         if kind_a == RUN and kind_b == RUN:
-            out: List[Tuple[int, int]] = []
-            i = j = 0
-            while i < len(data_a) and j < len(data_b):
-                start = max(data_a[i, 0], data_b[j, 0])
-                stop = min(data_a[i, 1], data_b[j, 1])
-                if start < stop:
-                    out.append((int(start), int(stop)))
-                if data_a[i, 1] <= data_b[j, 1]:
-                    i += 1
-                else:
-                    j += 1
-            return self._normalize_runs(out, chunk_len)
+            return self._normalize_runs(
+                self._kernels.intersect_runs(data_a, data_b), chunk_len
+            )
         # BITMAP x RUN (either order): clip the bitmap by the intervals.
         words = data_a if kind_a == BITMAP else data_b
         runs = data_b if kind_a == BITMAP else data_a
@@ -529,7 +520,7 @@ class CompressedEngine(CoverageEngine):
     # ------------------------------------------------------------------
     # rebuild support
     # ------------------------------------------------------------------
-    def _template_options(self) -> Dict[str, int]:
+    def _template_options(self) -> Dict[str, object]:
         options = super()._template_options()
         options.update(
             array_cutoff=self._array_cutoff, run_cutoff=self._run_cutoff

@@ -1,0 +1,494 @@
+"""Compiled kernel tier: one dispatch point for the engines' inner loops.
+
+The MUP walk spends essentially all of its time in three tiny loops —
+word-level AND + popcount, sorted-set intersection, and the per-attribute
+children probe.  This module registers, per operation, two bit-identical
+implementations:
+
+* **python** — the pure numpy code the engines always shipped
+  (:func:`~repro.data.bitset.weighted_count` and friends, plus the
+  container kernels of the compressed backend).  Always available.
+* **jit** — ``numba`` ``@njit(cache=True, nogil=True)`` translations of
+  the same loops: a fused AND+popcount scan over stacked word matrices, a
+  galloping intersection for long sorted-array containers, run-vs-array
+  interval probes, and the vectorized multi-mask children probe.  Only
+  available when ``numba`` is importable (``pip install .[jit]``).
+
+Selection is a **feature flag**, resolved by :func:`resolve_kernel_tier`:
+
+==============  ========================================================
+tier            meaning
+==============  ========================================================
+``"auto"``      jit when numba imports, python otherwise (the default)
+``"jit"``       force the compiled tier; :class:`EngineError` without numba
+``"python"``    force the numpy fallback (ablation / debugging)
+==============  ========================================================
+
+The flag travels two ways: the ``REPRO_KERNELS`` environment variable
+(process-wide default) and the ``kernel_tier`` field of
+:class:`~repro.core.engine.config.EngineConfig` / the ``--kernel-tier``
+CLI flag (per engine; an explicit non-auto value beats the environment).
+Both tiers are pinned bit-identical by the differential fuzz harness
+(``tests/property/test_engine_fuzz.py`` runs a ``packed-jit`` leg in
+lockstep with the dense reference).
+
+Nothing in this module imports the engine backends or the config — the
+backends import *it* — so the dependency graph stays acyclic.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.bitset import weighted_count, weighted_count_rows
+from repro.exceptions import EngineError
+
+#: The recognised values of the feature flag (config field / env var).
+KERNEL_TIERS = ("auto", "jit", "python")
+
+#: Environment variable carrying the process-wide default tier.
+REPRO_KERNELS_ENV = "REPRO_KERNELS"
+
+try:  # pragma: no cover - exercised only with numba installed
+    import numba  # noqa: F401
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # the container ships without numba; jit is gated
+    numba = None
+    njit = None
+    NUMBA_AVAILABLE = False
+
+
+def numba_available() -> bool:
+    """Whether the jit tier can be selected in this process."""
+    return NUMBA_AVAILABLE
+
+
+def resolve_kernel_tier(tier: Optional[str] = None) -> str:
+    """Resolve a requested tier to a concrete one (``"jit"``/``"python"``).
+
+    ``None`` and ``"auto"`` defer to the ``REPRO_KERNELS`` environment
+    variable, then to availability (jit when numba imports, python
+    otherwise).  An explicit non-auto argument beats the environment.
+
+    Raises:
+        EngineError: on an unknown tier name (argument or environment),
+            or when ``"jit"`` is forced and numba is not installed.
+    """
+    if tier is not None and tier not in KERNEL_TIERS:
+        raise EngineError(
+            f"kernel_tier must be one of {KERNEL_TIERS}, got {tier!r}"
+        )
+    if tier is None or tier == "auto":
+        env = os.environ.get(REPRO_KERNELS_ENV, "").strip()
+        if env:
+            if env not in KERNEL_TIERS:
+                raise EngineError(
+                    f"{REPRO_KERNELS_ENV} must be one of {KERNEL_TIERS}, "
+                    f"got {env!r}"
+                )
+            tier = env
+        else:
+            tier = "auto"
+    if tier == "auto":
+        return "jit" if NUMBA_AVAILABLE else "python"
+    if tier == "jit" and not NUMBA_AVAILABLE:
+        raise EngineError(
+            "kernel_tier='jit' requested but numba is not installed; "
+            "install the optional extra (pip install '.[jit]') or select "
+            "kernel_tier='python' / REPRO_KERNELS=python"
+        )
+    return tier
+
+
+# ----------------------------------------------------------------------
+# python tier (the reference: the numpy code the engines always ran)
+# ----------------------------------------------------------------------
+def _py_count(words: np.ndarray, counts: Optional[np.ndarray]) -> int:
+    """Weighted popcount of one flat ``uint64`` word array."""
+    return weighted_count(words, counts)
+
+
+def _py_count_rows(
+    matrix: np.ndarray, counts: Optional[np.ndarray]
+) -> np.ndarray:
+    """Weighted count of each row of a ``(k, W)`` word matrix."""
+    return weighted_count_rows(matrix, counts)
+
+
+def _py_and_rows(
+    window: np.ndarray, words: np.ndarray, rows: Sequence[int]
+) -> np.ndarray:
+    """``window AND words[r0] AND words[r1] …`` — a chained restriction."""
+    if not len(rows) or words.shape[1] == 0:
+        return np.array(window, dtype=np.uint64, copy=True)
+    # Fancy indexing copies the selected rows out of the (possibly mmapped)
+    # block, so the reduction runs over plain memory.
+    acc = np.bitwise_and.reduce(words[list(rows)], axis=0)
+    return np.bitwise_and(window, acc)
+
+
+def _py_and_family(window: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """``window AND`` every row of ``block`` — one sibling family."""
+    return np.bitwise_and(window[np.newaxis, :], block)
+
+
+def _py_intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique arrays (sorted, same dtype)."""
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def _py_array_select_bitmap(
+    array: np.ndarray, words: np.ndarray
+) -> np.ndarray:
+    """The members of sorted ``array`` whose bit is set in ``words``."""
+    idx = array.astype(np.int64)
+    bits = (words[idx >> 6] >> (idx & 63).astype(np.uint64)) & np.uint64(1)
+    return array[bits.astype(bool)]
+
+
+def _py_array_select_runs(array: np.ndarray, runs: np.ndarray) -> np.ndarray:
+    """The members of sorted ``array`` inside the ``[start, stop)`` runs."""
+    idx = array.astype(np.int64)
+    position = np.searchsorted(runs[:, 0], idx, side="right") - 1
+    inside = (position >= 0) & (idx < runs[np.maximum(position, 0), 1])
+    return array[inside]
+
+
+def _py_intersect_runs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interval intersection of two sorted run lists → ``(k, 2)`` int32."""
+    out: List[tuple] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i, 0], b[j, 0])
+        stop = min(a[i, 1], b[j, 1])
+        if start < stop:
+            out.append((int(start), int(stop)))
+        if a[i, 1] <= b[j, 1]:
+            i += 1
+        else:
+            j += 1
+    return np.array(out, dtype=np.int32).reshape(-1, 2)
+
+
+# ----------------------------------------------------------------------
+# jit tier (numba translations of the same loops; only defined when
+# numba imports — the module stays importable without it)
+# ----------------------------------------------------------------------
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+    # SWAR popcount constants as uint64 globals: numba promotes mixed
+    # uint64/int literal arithmetic to float64, so every mask and shift
+    # must already be a uint64.
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+    _U0 = np.uint64(0)
+    _U1 = np.uint64(1)
+    _U2 = np.uint64(2)
+    _U4 = np.uint64(4)
+    _U56 = np.uint64(56)
+
+    @njit(cache=True, nogil=True, inline="always")
+    def _nb_popcount64(x):
+        x = x - ((x >> _U1) & _M1)
+        x = (x & _M2) + ((x >> _U2) & _M2)
+        x = (x + (x >> _U4)) & _M4
+        return (x * _H01) >> _U56
+
+    @njit(cache=True, nogil=True)
+    def _nb_popcount_sum(words):
+        total = np.int64(0)
+        for i in range(words.size):
+            total += np.int64(_nb_popcount64(words[i]))
+        return total
+
+    @njit(cache=True, nogil=True)
+    def _nb_weighted_sum(words, counts):
+        total = np.int64(0)
+        for i in range(words.size):
+            w = words[i]
+            base = i * 64
+            while w != _U0:
+                low = w & (_U0 - w)  # lowest set bit
+                bit = np.int64(_nb_popcount64(low - _U1))
+                total += counts[base + bit]
+                w ^= low
+        return total
+
+    @njit(cache=True, nogil=True)
+    def _nb_count_rows(matrix):
+        out = np.empty(matrix.shape[0], dtype=np.int64)
+        for r in range(matrix.shape[0]):
+            total = np.int64(0)
+            for i in range(matrix.shape[1]):
+                total += np.int64(_nb_popcount64(matrix[r, i]))
+            out[r] = total
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _nb_weighted_count_rows(matrix, counts):
+        out = np.empty(matrix.shape[0], dtype=np.int64)
+        for r in range(matrix.shape[0]):
+            out[r] = _nb_weighted_sum(matrix[r], counts)
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _nb_and_rows(window, words, rows):
+        out = np.empty(window.size, dtype=np.uint64)
+        for i in range(window.size):
+            acc = window[i]
+            for r in rows:
+                acc &= words[r, i]
+            out[i] = acc
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _nb_and_family(window, block):
+        out = np.empty_like(block)
+        for r in range(block.shape[0]):
+            for i in range(block.shape[1]):
+                out[r, i] = window[i] & block[r, i]
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _nb_gallop_intersect(a, b):
+        out = np.empty(min(a.size, b.size), dtype=a.dtype)
+        i = j = k = 0
+        while i < a.size and j < b.size:
+            va = a[i]
+            vb = b[j]
+            if va == vb:
+                out[k] = va
+                k += 1
+                i += 1
+                j += 1
+            elif va < vb:
+                # Gallop: double the step until overshooting vb, then
+                # binary-search the bracketed range — O(log gap) per skip,
+                # the win on length-imbalanced containers.
+                step = 1
+                while i + step < a.size and a[i + step] < vb:
+                    step <<= 1
+                lo = i + (step >> 1)
+                hi = min(i + step, a.size)
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    if a[mid] < vb:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                i = lo
+            else:
+                step = 1
+                while j + step < b.size and b[j + step] < va:
+                    step <<= 1
+                lo = j + (step >> 1)
+                hi = min(j + step, b.size)
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    if b[mid] < va:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                j = lo
+        return out[:k]
+
+    @njit(cache=True, nogil=True)
+    def _nb_array_select_bitmap(array, words):
+        out = np.empty(array.size, dtype=array.dtype)
+        k = 0
+        for i in range(array.size):
+            idx = np.int64(array[i])
+            if (words[idx >> 6] >> np.uint64(idx & 63)) & _U1:
+                out[k] = array[i]
+                k += 1
+        return out[:k]
+
+    @njit(cache=True, nogil=True)
+    def _nb_array_select_runs(array, runs):
+        out = np.empty(array.size, dtype=array.dtype)
+        k = 0
+        j = 0
+        for i in range(array.size):
+            idx = np.int64(array[i])
+            while j < runs.shape[0] and runs[j, 1] <= idx:
+                j += 1
+            if j < runs.shape[0] and runs[j, 0] <= idx:
+                out[k] = array[i]
+                k += 1
+        return out[:k]
+
+    @njit(cache=True, nogil=True)
+    def _nb_intersect_runs(a, b):
+        out = np.empty((a.shape[0] + b.shape[0], 2), dtype=np.int32)
+        i = j = k = 0
+        while i < a.shape[0] and j < b.shape[0]:
+            start = max(a[i, 0], b[j, 0])
+            stop = min(a[i, 1], b[j, 1])
+            if start < stop:
+                out[k, 0] = start
+                out[k, 1] = stop
+                k += 1
+            if a[i, 1] <= b[j, 1]:
+                i += 1
+            else:
+                j += 1
+        return out[:k]
+
+    # Thin wrappers: empty/degenerate inputs short-circuit in python (numba
+    # typing needs non-trivial arrays) and layouts are made contiguous,
+    # then the compiled loop runs.  Results are bit-identical to the
+    # python tier — the fuzz harness pins it.
+    def _jit_count(words: np.ndarray, counts: Optional[np.ndarray]) -> int:
+        words = np.ascontiguousarray(words)
+        if words.size == 0:
+            return 0
+        if counts is None:
+            return int(_nb_popcount_sum(words.reshape(-1)))
+        return int(
+            _nb_weighted_sum(words.reshape(-1), np.ascontiguousarray(counts))
+        )
+
+    def _jit_count_rows(
+        matrix: np.ndarray, counts: Optional[np.ndarray]
+    ) -> np.ndarray:
+        matrix = np.ascontiguousarray(matrix)
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            return np.zeros(matrix.shape[0], dtype=np.int64)
+        if counts is None:
+            return _nb_count_rows(matrix)
+        return _nb_weighted_count_rows(matrix, np.ascontiguousarray(counts))
+
+    def _jit_and_rows(
+        window: np.ndarray, words: np.ndarray, rows: Sequence[int]
+    ) -> np.ndarray:
+        if not len(rows) or words.shape[1] == 0:
+            return np.array(window, dtype=np.uint64, copy=True)
+        return _nb_and_rows(
+            np.ascontiguousarray(window),
+            np.ascontiguousarray(words),
+            np.asarray(list(rows), dtype=np.int64),
+        )
+
+    def _jit_and_family(window: np.ndarray, block: np.ndarray) -> np.ndarray:
+        if block.size == 0:
+            return _py_and_family(window, block)
+        return _nb_and_family(
+            np.ascontiguousarray(window), np.ascontiguousarray(block)
+        )
+
+    def _jit_intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.size == 0 or b.size == 0:
+            return _py_intersect_sorted(a, b)
+        return _nb_gallop_intersect(
+            np.ascontiguousarray(a), np.ascontiguousarray(b)
+        )
+
+    def _jit_array_select_bitmap(
+        array: np.ndarray, words: np.ndarray
+    ) -> np.ndarray:
+        if array.size == 0:
+            return array
+        return _nb_array_select_bitmap(
+            np.ascontiguousarray(array), np.ascontiguousarray(words)
+        )
+
+    def _jit_array_select_runs(
+        array: np.ndarray, runs: np.ndarray
+    ) -> np.ndarray:
+        if array.size == 0 or runs.shape[0] == 0:
+            return _py_array_select_runs(array, runs)
+        return _nb_array_select_runs(
+            np.ascontiguousarray(array), np.ascontiguousarray(runs)
+        )
+
+    def _jit_intersect_runs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.shape[0] == 0 or b.shape[0] == 0:
+            return np.zeros((0, 2), dtype=np.int32)
+        return _nb_intersect_runs(
+            np.ascontiguousarray(a), np.ascontiguousarray(b)
+        )
+
+
+# ----------------------------------------------------------------------
+# the dispatch namespace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Kernels:
+    """One tier's implementations of every registered hot-path operation.
+
+    Engines hold one of these (``engine.kernels``) and call through it, so
+    the tier decision is made once per engine, not per query.
+
+    Attributes:
+        tier: the resolved tier (``"jit"`` or ``"python"``).
+        count: ``(words, counts|None) -> int`` — weighted popcount of a
+            flat word array.
+        count_rows: ``((k, W) matrix, counts|None) -> (k,) int64`` — the
+            fused AND+popcount scan's counting half, one count per mask.
+        and_rows: ``(window, (R, W) words, row ids) -> window'`` — chained
+            AND of index rows into a mask window.
+        and_family: ``(window, (c, W) block) -> (c, W)`` — the vectorized
+            multi-mask children probe behind ``restrict_children``.
+        intersect_sorted: ``(sorted a, sorted b) -> sorted`` — set
+            intersection of sorted-array containers (galloping under jit).
+        array_select_bitmap: ``(sorted array, words) -> sorted`` — members
+            of an array container present in a bitmap container.
+        array_select_runs: ``(sorted array, (r, 2) runs) -> sorted`` —
+            members of an array container inside run intervals.
+        intersect_runs: ``((r, 2) a, (s, 2) b) -> (k, 2) int32`` — interval
+            intersection of two run containers.
+    """
+
+    tier: str
+    count: Callable[..., int]
+    count_rows: Callable[..., np.ndarray]
+    and_rows: Callable[..., np.ndarray]
+    and_family: Callable[..., np.ndarray]
+    intersect_sorted: Callable[..., np.ndarray]
+    array_select_bitmap: Callable[..., np.ndarray]
+    array_select_runs: Callable[..., np.ndarray]
+    intersect_runs: Callable[..., np.ndarray]
+
+
+PYTHON_KERNELS = Kernels(
+    tier="python",
+    count=_py_count,
+    count_rows=_py_count_rows,
+    and_rows=_py_and_rows,
+    and_family=_py_and_family,
+    intersect_sorted=_py_intersect_sorted,
+    array_select_bitmap=_py_array_select_bitmap,
+    array_select_runs=_py_array_select_runs,
+    intersect_runs=_py_intersect_runs,
+)
+
+JIT_KERNELS: Optional[Kernels] = (
+    Kernels(
+        tier="jit",
+        count=_jit_count,
+        count_rows=_jit_count_rows,
+        and_rows=_jit_and_rows,
+        and_family=_jit_and_family,
+        intersect_sorted=_jit_intersect_sorted,
+        array_select_bitmap=_jit_array_select_bitmap,
+        array_select_runs=_jit_array_select_runs,
+        intersect_runs=_jit_intersect_runs,
+    )
+    if NUMBA_AVAILABLE
+    else None
+)
+
+
+def get_kernels(tier: Optional[str] = None) -> Kernels:
+    """The :class:`Kernels` namespace for a (possibly unresolved) tier."""
+    resolved = resolve_kernel_tier(tier)
+    if resolved == "jit":
+        return JIT_KERNELS
+    return PYTHON_KERNELS

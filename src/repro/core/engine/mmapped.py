@@ -54,7 +54,14 @@ from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.bitset import weighted_count, weighted_count_rows
+from repro.core.engine.kernels import (
+    Kernels,
+    _py_and_family,
+    _py_and_rows,
+    _py_count,
+    _py_count_rows,
+    get_kernels,
+)
 from repro.exceptions import EngineError
 
 _WORD_BITS = 64
@@ -93,22 +100,15 @@ _SHARD_ENTRY_KEYS = (
 
 # ----------------------------------------------------------------------
 # pure per-shard kernels (shared by serial, thread, and process paths);
-# the counting kernels are the bitset module's weighted_count /
-# weighted_count_rows, shared with the packed engine.
+# the implementations now live in repro.core.engine.kernels — the python
+# tier keeps its old module-level names here, and apply_shard_op
+# dispatches through whichever Kernels tier the caller holds (defaulting
+# to the env-resolved tier in pool children).
 # ----------------------------------------------------------------------
-def and_rows(window: np.ndarray, words: np.ndarray, rows: Sequence[int]) -> np.ndarray:
-    """``window AND words[r0] AND words[r1] …`` — a chained restriction."""
-    if not rows or words.shape[1] == 0:
-        return np.array(window, dtype=np.uint64, copy=True)
-    # Fancy indexing copies the selected rows out of the (possibly mmapped)
-    # block, so the reduction runs over plain memory.
-    acc = np.bitwise_and.reduce(words[list(rows)], axis=0)
-    return np.bitwise_and(window, acc)
-
-
-def and_family(window: np.ndarray, block: np.ndarray) -> np.ndarray:
-    """``window AND`` every row of ``block`` — one sibling family."""
-    return np.bitwise_and(window[np.newaxis, :], block)
+and_rows = _py_and_rows
+and_family = _py_and_family
+weighted_count = _py_count
+weighted_count_rows = _py_count_rows
 
 
 # ----------------------------------------------------------------------
@@ -655,12 +655,18 @@ COUNT_ONLY_OPS = frozenset({"count", "count_rows"})
 
 
 def apply_shard_op(
-    op: str, payload: Any, words: np.ndarray, counts: Optional[np.ndarray]
+    op: str,
+    payload: Any,
+    words: np.ndarray,
+    counts: Optional[np.ndarray],
+    kernels: Optional[Kernels] = None,
 ):
     """Dispatch one per-shard kernel over the shard's loaded arrays.
 
     The single dispatch shared by the serial, thread-pool, and
     process-pool paths, so the three evaluation modes cannot diverge.
+    ``kernels`` selects the tier (the engine passes its own; pool children
+    default to the env-resolved tier — both tiers are bit-identical).
     Ops:
 
     * ``"count"`` — payload = mask window → weighted count (int);
@@ -671,16 +677,18 @@ def apply_shard_op(
     * ``"children"`` — payload = ``(mask window, row_start, row_stop)`` →
       the ``(c, W_j)`` sibling-family window.
     """
+    if kernels is None:
+        kernels = get_kernels()
     if op == "count":
-        return weighted_count(payload, counts)
+        return kernels.count(payload, counts)
     if op == "count_rows":
-        return weighted_count_rows(payload, counts)
+        return kernels.count_rows(payload, counts)
     if op == "match":
         window, rows = payload
-        return and_rows(window, words, rows)
+        return kernels.and_rows(window, words, rows)
     if op == "children":
         window, row_start, row_stop = payload
-        return and_family(window, words[row_start:row_stop])
+        return kernels.and_family(window, words[row_start:row_stop])
     raise EngineError(f"unknown shard op {op!r}")
 
 

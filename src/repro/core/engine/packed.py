@@ -22,7 +22,7 @@ from repro.core.engine.base import (
     CoverageEngine,
     register_engine,
 )
-from repro.data.bitset import BitVector, weighted_count, weighted_count_rows
+from repro.data.bitset import BitVector
 from repro.data.dataset import Dataset
 
 _WORD_BITS = 64
@@ -35,9 +35,14 @@ class PackedBitsetEngine(CoverageEngine):
     name = "packed"
 
     def __init__(
-        self, dataset: Dataset, mask_cache_size: int = DEFAULT_MASK_CACHE
+        self,
+        dataset: Dataset,
+        mask_cache_size: int = DEFAULT_MASK_CACHE,
+        kernel_tier: str = None,
     ) -> None:
-        super().__init__(dataset, mask_cache_size=mask_cache_size)
+        super().__init__(
+            dataset, mask_cache_size=mask_cache_size, kernel_tier=kernel_tier
+        )
         unique = self._unique
         u = len(unique)
         # _vectors[i][v] is the BitVector over unique rows with value v on
@@ -73,7 +78,7 @@ class PackedBitsetEngine(CoverageEngine):
     # ------------------------------------------------------------------
     def _count_word_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """Weighted count of each row of a ``(k, W)`` word matrix."""
-        return weighted_count_rows(
+        return self._kernels.count_rows(
             matrix, None if self._uniform else self._counts_padded
         )
 
@@ -112,14 +117,14 @@ class PackedBitsetEngine(CoverageEngine):
         return mask & self._vectors[attribute][value]
 
     def restrict_children(self, mask: BitVector, attribute: int) -> List[BitVector]:
-        family = np.bitwise_and(mask.words[np.newaxis, :], self._words[attribute])
+        family = self._kernels.and_family(mask.words, self._words[attribute])
         u = self.unique_count
         return [BitVector.from_words(u, row) for row in family]
 
     def count(self, mask: BitVector) -> int:
-        if self._uniform:
-            return mask.count()
-        return weighted_count(mask.words, self._counts_padded)
+        return self._kernels.count(
+            mask.words, None if self._uniform else self._counts_padded
+        )
 
     def count_many(self, masks: Sequence[BitVector]) -> np.ndarray:
         if not len(masks):

@@ -55,10 +55,11 @@ import os
 import re
 import tempfile
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.engine.compressed import CHUNK_BITS, DEFAULT_ARRAY_CUTOFF
 from repro.core.engine.config import AUTO, EngineConfig
+from repro.core.engine.kernels import resolve_kernel_tier
 from repro.core.engine.sharded import DEFAULT_SHARDS
 from repro.data.dataset import Dataset
 from repro.exceptions import EngineError
@@ -80,10 +81,49 @@ SINGLE_INDEX_TARGET_SECONDS = 0.008
 #: Keep a single packed index while one scan of it meets the latency
 #: target.  (Previously a hard-coded 32 MiB byte ceiling; now derived
 #: from the calibrated cost model above — same operating point, but the
-#: knobs are measurable quantities.)
+#: knobs are measurable quantities.)  This is the point-shape / python-tier
+#: operating point; :func:`_single_index_ceiling` scales it by the query
+#: shape and the active kernel tier.
 PACKED_MAX_INDEX_BYTES = int(
     PACKED_SCAN_BYTES_PER_SECOND * SINGLE_INDEX_TARGET_SECONDS
 )
+
+#: Query shapes the cost model distinguishes.  ``"point"`` — latency-bound
+#: streams of single-pattern probes (DeepDiver's DFS: one mask op per
+#: node); ``"batch"`` — throughput-bound level sweeps (apriori / naive /
+#: pattern-breaker: whole frontiers per call), where a longer single scan
+#: amortizes over the batch and sharding's dispatch overhead hurts more.
+QUERY_SHAPES = ("point", "batch")
+
+#: Effective scan-throughput multiplier of the jit kernel tier over the
+#: numpy tier (conservative; bench_kernels.py measures >= 5x on the fused
+#: AND+popcount scan).  A jit-backed index can be this much larger and
+#: still meet the same latency target.
+JIT_SCAN_SPEEDUP = 4.0
+
+#: Latency target for one scan serving a *batch* of queries: a level
+#: sweep answers a whole frontier per scan, so per-scan latency may relax
+#: by the typical frontier amortization before sharding pays off.
+BATCH_LATENCY_TARGET_SECONDS = SINGLE_INDEX_TARGET_SECONDS * 4
+
+
+def _single_index_ceiling(query_shape: str, kernel_tier: str) -> int:
+    """Largest packed index one flat scan may cover, per shape x tier.
+
+    The point-shape / python-tier corner equals
+    :data:`PACKED_MAX_INDEX_BYTES`, so the pre-shape escalation boundaries
+    are unchanged there; jit kernels and batch amortization each raise the
+    ceiling multiplicatively.
+    """
+    target = (
+        BATCH_LATENCY_TARGET_SECONDS
+        if query_shape == "batch"
+        else SINGLE_INDEX_TARGET_SECONDS
+    )
+    throughput = PACKED_SCAN_BYTES_PER_SECOND * (
+        JIT_SCAN_SPEEDUP if kernel_tier == "jit" else 1.0
+    )
+    return int(throughput * target)
 
 #: Per-byte scan cost of the chunked compressed kernels relative to the
 #: fused packed kernels.  benchmarks/bench_compressed.py measures the
@@ -131,7 +171,7 @@ def _default_spill_root() -> str:
     return tempfile.gettempdir()
 
 
-def available_memory_bytes() -> int:
+def _probe_available_memory() -> int:
     """Best-effort available physical memory (never raises).
 
     Prefers ``MemAvailable`` from ``/proc/meminfo`` (Linux), falls back to
@@ -149,6 +189,46 @@ def available_memory_bytes() -> int:
         return os.sysconf("SC_PHYS_PAGES") * os.sysconf("SC_PAGE_SIZE")
     except (ValueError, OSError, AttributeError):
         return FALLBACK_MEMORY_BYTES
+
+
+#: Process-level cache of the memory probe (``None`` = not probed yet) and
+#: the explicit test/embedder override layered above it.
+_MEMORY_BYTES_CACHE: Optional[int] = None
+_MEMORY_BYTES_OVERRIDE: Optional[int] = None
+
+
+def available_memory_bytes() -> int:
+    """Available physical memory, probed once per process.
+
+    Repeated ``plan_engine`` calls (sweep loops, incremental rebuilds) used
+    to re-read ``/proc/meminfo`` every time; the probe result now caches
+    for the process lifetime.  :func:`set_available_memory_bytes` overrides
+    it explicitly (tests, embedders with their own budget policy).
+    """
+    global _MEMORY_BYTES_CACHE
+    if _MEMORY_BYTES_OVERRIDE is not None:
+        return _MEMORY_BYTES_OVERRIDE
+    if _MEMORY_BYTES_CACHE is None:
+        _MEMORY_BYTES_CACHE = _probe_available_memory()
+    return _MEMORY_BYTES_CACHE
+
+
+def set_available_memory_bytes(value: Optional[int]) -> None:
+    """Override (or, with ``None``, re-arm) the cached memory probe.
+
+    Also invalidates the memoized :meth:`WorkloadStats.of` snapshots —
+    they embed the budget derived from the probed value.
+    """
+    global _MEMORY_BYTES_CACHE, _MEMORY_BYTES_OVERRIDE
+    if value is not None:
+        value = int(value)
+        if value < 1:
+            raise EngineError(
+                f"available memory override must be >= 1 byte, got {value}"
+            )
+    _MEMORY_BYTES_OVERRIDE = value
+    _MEMORY_BYTES_CACHE = None
+    invalidate_stats_cache()
 
 
 def _project_compressed_bytes(
@@ -213,6 +293,14 @@ class WorkloadStats:
         projected_compressed_bytes: projected compressed-index bytes
             (container arithmetic over the schema).  Derived when not
             supplied.
+        query_shape: the workload's query shape — ``"point"`` for
+            latency-bound single-pattern streams (DFS traversals),
+            ``"batch"`` for throughput-bound level sweeps.  Defaults to
+            the conservative ``"point"``.
+        kernel_tier: the resolved kernel tier the cost model assumes
+            (``"jit"``/``"python"``); ``None`` resolves through
+            :func:`~repro.core.engine.kernels.resolve_kernel_tier` (env,
+            then availability) at construction.
     """
 
     rows: int
@@ -225,6 +313,8 @@ class WorkloadStats:
     cpu_count: int
     index_density: Optional[float] = None
     projected_compressed_bytes: Optional[int] = None
+    query_shape: str = "point"
+    kernel_tier: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rows < 0:
@@ -233,6 +323,18 @@ class WorkloadStats:
             raise EngineError(
                 f"memory budget must be >= 1 byte, got {self.memory_budget_bytes}"
             )
+        if self.query_shape not in QUERY_SHAPES:
+            raise EngineError(
+                f"query_shape must be one of {QUERY_SHAPES}, "
+                f"got {self.query_shape!r}"
+            )
+        # Resolve the tier to a concrete one ("jit"/"python") so the cost
+        # model never reasons about an unavailable tier: a forced-jit
+        # request without numba raises here, which is also the guarantee
+        # that no plan ever *returns* assuming a tier this process lacks.
+        object.__setattr__(
+            self, "kernel_tier", resolve_kernel_tier(self.kernel_tier)
+        )
         # Derive the sparsity measures when a hand-rolled snapshot (tests,
         # benchmarks) leaves them out, so every snapshot is complete.
         if self.index_density is None:
@@ -253,12 +355,30 @@ class WorkloadStats:
     def of(
         cls, dataset: Dataset, memory_budget: Optional[int] = None
     ) -> "WorkloadStats":
-        """Collect the statistics for ``dataset``.
+        """Collect the statistics for ``dataset`` (memoized).
 
         ``memory_budget`` overrides the probed default (half the available
         physical memory); it is how an ``EngineConfig(backend="auto",
         max_resident_bytes=...)`` budget reaches the planner.
+
+        Snapshots are memoized per ``dataset.content_fingerprint()`` (plus
+        the requested budget and the process-default kernel tier), so
+        repeated ``--engine auto`` resolutions — incremental index
+        rebuilds, sweep loops — don't redo the arithmetic or the memory
+        probe.  :func:`stats_cache_info` exposes the hit/miss counters;
+        :func:`invalidate_stats_cache` drops entries when a dataset's
+        content changes (the incremental index calls it on delivery).
         """
+        key = (
+            dataset.content_fingerprint(),
+            memory_budget,
+            resolve_kernel_tier(None),
+        )
+        cached = _STATS_CACHE.get(key)
+        if cached is not None:
+            _STATS_COUNTERS["hits"] += 1
+            return cached
+        _STATS_COUNTERS["misses"] += 1
         cardinalities = tuple(int(c) for c in dataset.cardinalities)
         combinations = 1
         for cardinality in cardinalities:
@@ -273,7 +393,7 @@ class WorkloadStats:
             memory_budget = max(
                 1, int(available_memory_bytes() * MEMORY_BUDGET_FRACTION)
             )
-        return cls(
+        stats = cls(
             rows=dataset.n,
             d=dataset.d,
             cardinalities=cardinalities,
@@ -283,6 +403,38 @@ class WorkloadStats:
             memory_budget_bytes=int(memory_budget),
             cpu_count=os.cpu_count() or 1,
         )
+        _STATS_CACHE[key] = stats
+        return stats
+
+
+#: Memoized WorkloadStats snapshots, keyed by (content fingerprint,
+#: requested budget, process-default kernel tier); the stats are frozen,
+#: so sharing one instance across planner calls is safe.
+_STATS_CACHE: Dict[Tuple, "WorkloadStats"] = {}
+_STATS_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def stats_cache_info() -> Dict[str, int]:
+    """Hit/miss counters and occupancy of the stats memo."""
+    return {
+        "hits": _STATS_COUNTERS["hits"],
+        "misses": _STATS_COUNTERS["misses"],
+        "entries": len(_STATS_CACHE),
+    }
+
+
+def invalidate_stats_cache(fingerprint: Optional[str] = None) -> None:
+    """Drop memoized stats — all of them, or one dataset fingerprint's.
+
+    Call with the old content fingerprint when a dataset's rows change
+    (the incremental index does this on every delivery) so the next auto
+    plan re-derives its projections instead of reusing stale ones.
+    """
+    if fingerprint is None:
+        _STATS_CACHE.clear()
+        return
+    for key in [k for k in _STATS_CACHE if k[0] == fingerprint]:
+        del _STATS_CACHE[key]
 
 
 @dataclass(frozen=True)
@@ -313,6 +465,9 @@ class EnginePlan:
             f"(density {stats.index_density:.4f}), "
             f"memory budget {_fmt_bytes(stats.memory_budget_bytes)}, "
             f"cores={stats.cpu_count}",
+            f"  cost model: query shape '{stats.query_shape}' on "
+            f"{stats.kernel_tier} kernels -> single-index ceiling "
+            f"{_fmt_bytes(_single_index_ceiling(stats.query_shape, stats.kernel_tier))}",
         ]
         lines.extend(f"  - {line}" for line in self.rationale)
         return "\n".join(lines)
@@ -325,6 +480,7 @@ class EnginePlan:
 def plan_engine(
     source: Union[Dataset, WorkloadStats],
     requested: Union[EngineConfig, str, None] = None,
+    query_shape: Optional[str] = None,
 ) -> EnginePlan:
     """Choose an execution strategy for a workload.
 
@@ -336,14 +492,30 @@ def plan_engine(
             A non-``auto`` backend short-circuits to a "hand-picked" plan;
             under ``auto``, set fields constrain the decision as described
             in the module docstring.
+        query_shape: the workload's query shape (``"point"`` /
+            ``"batch"``), usually inferred from the calling algorithm
+            (:func:`repro.core.mups.base.algorithm_query_shape`).  Batch
+            shapes relax the single-index latency ceiling, so the same
+            dataset may plan packed for an apriori level sweep where a
+            DeepDiver point stream plans sharded.  ``None`` keeps the
+            snapshot's shape (``"point"`` by default).
 
     Returns:
         An :class:`EnginePlan` whose ``config`` is concrete and valid.
+
+    Raises:
+        EngineError: invalid request — including ``kernel_tier="jit"``
+            when numba is unavailable: the planner refuses to emit a plan
+            whose cost model assumed a tier the process cannot run.
     """
     if requested is None:
         requested = EngineConfig(backend=AUTO)
     elif isinstance(requested, str):
         requested = EngineConfig(backend=requested)
+    # Resolve the tier once, up front: an explicit config tier beats the
+    # environment, and forcing jit without numba fails here — before any
+    # decision could be made on a throughput the process cannot deliver.
+    tier = resolve_kernel_tier(requested.kernel_tier)
     if isinstance(source, WorkloadStats):
         stats = source
         if requested.is_auto and requested.max_resident_bytes is not None:
@@ -356,6 +528,14 @@ def plan_engine(
             memory_budget=(
                 requested.max_resident_bytes if requested.is_auto else None
             ),
+        )
+    if stats.query_shape != (query_shape or stats.query_shape) or (
+        stats.kernel_tier != tier
+    ):
+        stats = replace(
+            stats,
+            query_shape=query_shape or stats.query_shape,
+            kernel_tier=tier,
         )
 
     if not requested.is_auto:
@@ -372,6 +552,19 @@ def plan_engine(
     budget = stats.memory_budget_bytes
     packed_bytes = stats.projected_packed_bytes
     compressed_bytes = stats.projected_compressed_bytes
+    ceiling = _single_index_ceiling(stats.query_shape, stats.kernel_tier)
+    if stats.query_shape == "batch":
+        rationale.append(
+            f"batch-heavy query shape (level sweeps amortize scans) on "
+            f"{stats.kernel_tier} kernels -> single-index ceiling "
+            f"{_fmt_bytes(ceiling)}"
+        )
+    else:
+        rationale.append(
+            f"point-heavy query shape (latency-bound probes) on "
+            f"{stats.kernel_tier} kernels -> single-index ceiling "
+            f"{_fmt_bytes(ceiling)}"
+        )
     forced_out_of_core = (
         requested.spill_dir is not None or requested.workers_mode == "process"
     )
@@ -396,8 +589,7 @@ def plan_engine(
     compressed_single_index = (
         sparse_domain
         and compressed_wins
-        and compressed_bytes * COMPRESSED_SCAN_COST_RATIO
-        <= PACKED_MAX_INDEX_BYTES
+        and compressed_bytes * COMPRESSED_SCAN_COST_RATIO <= ceiling
     )
 
     if forced_compressed:
@@ -419,6 +611,7 @@ def plan_engine(
             array_cutoff=requested.array_cutoff,
             run_cutoff=requested.run_cutoff,
             mask_cache_size=requested.mask_cache_size,
+            kernel_tier=requested.kernel_tier,
         )
         return EnginePlan(config=config, stats=stats, rationale=tuple(rationale))
 
@@ -444,6 +637,7 @@ def plan_engine(
             config = EngineConfig(
                 backend="compressed",
                 mask_cache_size=requested.mask_cache_size,
+                kernel_tier=requested.kernel_tier,
             )
             return EnginePlan(
                 config=config, stats=stats, rationale=tuple(rationale)
@@ -483,9 +677,10 @@ def plan_engine(
             spill_dir=spill_dir,
             max_resident_bytes=max_resident,
             mask_cache_size=requested.mask_cache_size,
+            kernel_tier=requested.kernel_tier,
         )
     elif forced_sharded or (
-        packed_bytes > PACKED_MAX_INDEX_BYTES and not compressed_single_index
+        packed_bytes > ceiling and not compressed_single_index
     ):
         if forced_sharded:
             rationale.append(
@@ -494,7 +689,7 @@ def plan_engine(
         else:
             rationale.append(
                 f"projected packed index {_fmt_bytes(packed_bytes)} exceeds "
-                f"the single-index ceiling {_fmt_bytes(PACKED_MAX_INDEX_BYTES)} "
+                f"the single-index ceiling {_fmt_bytes(ceiling)} "
                 f"-> sharded (bounded per-kernel working sets)"
             )
         shards = _plan_shards(
@@ -507,6 +702,7 @@ def plan_engine(
             workers=workers,
             workers_mode=requested.workers_mode,
             mask_cache_size=requested.mask_cache_size,
+            kernel_tier=requested.kernel_tier,
         )
     elif stats.projected_dense_bytes <= DENSE_MAX_INDEX_BYTES:
         rationale.append(
@@ -515,7 +711,9 @@ def plan_engine(
             f"dense (no packing overhead on tiny indices)"
         )
         config = EngineConfig(
-            backend="dense", mask_cache_size=requested.mask_cache_size
+            backend="dense",
+            mask_cache_size=requested.mask_cache_size,
+            kernel_tier=requested.kernel_tier,
         )
     elif compressed_single_index:
         rationale.append(
@@ -526,16 +724,20 @@ def plan_engine(
             f"(chunked containers, no dense words for sparse chunks)"
         )
         config = EngineConfig(
-            backend="compressed", mask_cache_size=requested.mask_cache_size
+            backend="compressed",
+            mask_cache_size=requested.mask_cache_size,
+            kernel_tier=requested.kernel_tier,
         )
     else:
         rationale.append(
             f"projected packed index {_fmt_bytes(packed_bytes)} fits one "
-            f"index (ceiling {_fmt_bytes(PACKED_MAX_INDEX_BYTES)}) -> packed "
+            f"index (ceiling {_fmt_bytes(ceiling)}) -> packed "
             f"(8x smaller than dense, word-level popcount)"
         )
         config = EngineConfig(
-            backend="packed", mask_cache_size=requested.mask_cache_size
+            backend="packed",
+            mask_cache_size=requested.mask_cache_size,
+            kernel_tier=requested.kernel_tier,
         )
     return EnginePlan(config=config, stats=stats, rationale=tuple(rationale))
 

@@ -64,7 +64,7 @@ from repro.core.engine.mmapped import (
     worker_attach,
 )
 from repro.core.engine.packed import PackedBitsetEngine
-from repro.data.bitset import BitVector, weighted_count, weighted_count_rows
+from repro.data.bitset import BitVector
 from repro.data.dataset import Dataset
 from repro.exceptions import EngineError
 
@@ -174,9 +174,12 @@ class ShardedEngine(CoverageEngine):
         spill_dir: Optional[str] = None,
         max_resident_bytes: Optional[int] = None,
         workers_mode: str = DEFAULT_WORKERS_MODE,
+        kernel_tier: str = None,
         _attach_store: Optional[MmapShardStore] = None,
     ) -> None:
-        super().__init__(dataset, mask_cache_size=mask_cache_size)
+        super().__init__(
+            dataset, mask_cache_size=mask_cache_size, kernel_tier=kernel_tier
+        )
         shards = int(shards)
         if workers is not None:
             workers = int(workers)
@@ -204,6 +207,7 @@ class ShardedEngine(CoverageEngine):
                 )
             ),
             max_resident_bytes=max_resident_bytes,
+            kernel_tier=kernel_tier,
         )
         out_of_core = spill_dir is not None or _attach_store is not None
         self._requested_shards = shards
@@ -304,7 +308,11 @@ class ShardedEngine(CoverageEngine):
             shard_dataset._prime_unique_cache(
                 unique_slice, self._counts[unique_start:unique_stop]
             )
-            inner = PackedBitsetEngine(shard_dataset, mask_cache_size=0)
+            inner = PackedBitsetEngine(
+                shard_dataset,
+                mask_cache_size=0,
+                kernel_tier=self._requested_kernel_tier,
+            )
             words = inner.full_mask().words
             if writer is not None:
                 if dataset.d:
@@ -622,9 +630,14 @@ class ShardedEngine(CoverageEngine):
             # (much larger) word blocks.
             if op in COUNT_ONLY_OPS:
                 counts = self._store.shard_counts(shard.index)
-                return apply_shard_op(op, payloads[shard.index], None, counts)
+                return apply_shard_op(
+                    op, payloads[shard.index], None, counts,
+                    kernels=self._kernels,
+                )
             words = self._store.shard_words(shard.index)
-            return apply_shard_op(op, payloads[shard.index], words, None)
+            return apply_shard_op(
+                op, payloads[shard.index], words, None, kernels=self._kernels
+            )
 
         if self._fan_out:
             return self._map_shards(_local)
@@ -750,7 +763,7 @@ class ShardedEngine(CoverageEngine):
             return self._ooc_restrict_children(mask, attribute)
         index = self._words[attribute]
         if not self._fan_out:
-            family = np.bitwise_and(mask[np.newaxis, :], index)
+            family = self._kernels.and_family(mask, index)
         else:
             family = np.empty_like(index)
 
@@ -785,9 +798,9 @@ class ShardedEngine(CoverageEngine):
             self._check_open()
             return self._ooc_count(mask)
         if not self._fan_out:
-            return weighted_count(mask, self._weights)
+            return self._kernels.count(mask, self._weights)
         partials = self._map_shards(
-            lambda shard: weighted_count(
+            lambda shard: self._kernels.count(
                 mask[self._window(shard)], self._shard_weights(shard)
             )
         )
@@ -797,7 +810,7 @@ class ShardedEngine(CoverageEngine):
         # Uniform data needs no multiplicities: coverage is a pure popcount
         # of the (resident) mask, with no shard loads at all.
         if self._uniform:
-            return weighted_count(mask, None)
+            return self._kernels.count(mask, None)
         partials = self._map_shards_ooc(
             "count", [mask[self._window(shard)] for shard in self._shards]
         )
@@ -811,9 +824,9 @@ class ShardedEngine(CoverageEngine):
             self._check_open()
             return self._ooc_count_many(matrix)
         if not self._fan_out:
-            return weighted_count_rows(matrix, self._weights)
+            return self._kernels.count_rows(matrix, self._weights)
         partials = self._map_shards(
-            lambda shard: weighted_count_rows(
+            lambda shard: self._kernels.count_rows(
                 matrix[:, self._window(shard)], self._shard_weights(shard)
             )
         )
@@ -824,7 +837,7 @@ class ShardedEngine(CoverageEngine):
 
     def _ooc_count_many(self, matrix: np.ndarray) -> np.ndarray:
         if self._uniform:
-            return weighted_count_rows(matrix, None)
+            return self._kernels.count_rows(matrix, None)
         partials = self._map_shards_ooc(
             "count_rows",
             [matrix[:, self._window(shard)] for shard in self._shards],

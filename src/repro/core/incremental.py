@@ -27,7 +27,7 @@ from typing import Iterable, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.coverage import CoverageOracle
-from repro.core.engine import CoverageEngine, EngineSpec
+from repro.core.engine import CoverageEngine, EngineSpec, invalidate_stats_cache
 from repro.core.mups.base import MupResult, find_mups
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternSpace
@@ -116,6 +116,9 @@ class IncrementalMupIndex:
         directories are deleted instead of lingering until GC.
         """
         retired = self._oracle.engine
+        # The retired dataset's planner stats are stale the moment the
+        # delivery lands; drop them so a later plan re-measures.
+        invalidate_stats_cache(retired.dataset.content_fingerprint())
         self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
         retired.close()
 

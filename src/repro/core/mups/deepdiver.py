@@ -30,7 +30,7 @@ from repro.core.pattern_graph import PatternSpace
 from repro.data.dataset import Dataset
 
 
-@register_algorithm("deepdiver")
+@register_algorithm("deepdiver", query_shape="point")
 def deepdiver(
     dataset: Dataset,
     threshold: int,

@@ -38,6 +38,7 @@ from repro.core.engine import (
     EngineConfig,
     PackedBitsetEngine,
     ShardedEngine,
+    numba_available,
     resolve_engine,
 )
 from repro.core.pattern import Pattern, X
@@ -45,8 +46,21 @@ from repro.data.dataset import Dataset, Schema
 
 CORPUS_PATH = Path(__file__).parent / "engine_fuzz_corpus.json"
 
+#: The packed-jit leg pins the compiled kernel tier bit-identical to the
+#: dense reference.  Without numba it degrades to a second python-tier
+#: packed engine — the leg still runs, exercising the explicit-tier path.
+_JIT_TIER = "jit" if numba_available() else "python"
+
 #: Backend labels under differential test (dense is the reference).
-BACKENDS = ("dense", "packed", "sharded", "out-of-core", "auto", "compressed")
+BACKENDS = (
+    "dense",
+    "packed",
+    "packed-jit",
+    "sharded",
+    "out-of-core",
+    "auto",
+    "compressed",
+)
 
 
 # ----------------------------------------------------------------------
@@ -114,6 +128,9 @@ def _build_engines(dataset, mask_cache_size, array_cutoff, run_cutoff, root):
     return {
         "dense": DenseBoolEngine(dataset, mask_cache_size=mask_cache_size),
         "packed": PackedBitsetEngine(dataset, mask_cache_size=mask_cache_size),
+        "packed-jit": PackedBitsetEngine(
+            dataset, mask_cache_size=mask_cache_size, kernel_tier=_JIT_TIER
+        ),
         "sharded": ShardedEngine(
             dataset, shards=3, mask_cache_size=mask_cache_size
         ),

@@ -17,17 +17,39 @@ from repro.core.engine import (
     ShardedEngine,
     WorkloadStats,
     available_memory_bytes,
+    invalidate_stats_cache,
+    numba_available,
     plan_engine,
     resolve_engine,
+    set_available_memory_bytes,
+    stats_cache_info,
 )
+from repro.core.engine.kernels import REPRO_KERNELS_ENV
 from repro.core.engine.planner import (
+    BATCH_LATENCY_TARGET_SECONDS,
     DENSE_MAX_INDEX_BYTES,
+    JIT_SCAN_SPEEDUP,
     PACKED_MAX_INDEX_BYTES,
     SHARD_TARGET_BYTES,
+    _single_index_ceiling,
 )
 from repro.core.mups.base import find_mups
 from repro.data.synthetic import random_categorical_dataset
 from repro.exceptions import EngineError
+
+
+@pytest.fixture(autouse=True)
+def _pin_python_kernels(monkeypatch):
+    """Deterministic boundaries whether or not numba is installed.
+
+    The escalation pins in this module assume the point/python corner of
+    the cost model (where the ceiling equals ``PACKED_MAX_INDEX_BYTES``);
+    tier-specific tests override the environment themselves.
+    """
+    monkeypatch.setenv(REPRO_KERNELS_ENV, "python")
+    invalidate_stats_cache()
+    yield
+    invalidate_stats_cache()
 
 
 def stats_for(
@@ -188,18 +210,173 @@ class TestStatsCollection:
 
         monkeypatch.setattr(builtins, "open", no_meminfo)
         # sysconf path (total physical memory) still answers...
-        assert available_memory_bytes() >= 1
+        assert planner._probe_available_memory() >= 1
         # ...and with sysconf gone too, the constant fallback holds.
         monkeypatch.setattr(
             planner.os, "sysconf", lambda name: (_ for _ in ()).throw(ValueError())
         )
-        assert available_memory_bytes() == planner.FALLBACK_MEMORY_BYTES
+        assert planner._probe_available_memory() == planner.FALLBACK_MEMORY_BYTES
+
+    def test_memory_probe_cached_per_process(self, monkeypatch):
+        import repro.core.engine.planner as planner
+
+        first = available_memory_bytes()
+        # With the probe gone entirely, the cached value still answers —
+        # the probe ran at most once per process.
+        monkeypatch.setattr(
+            planner,
+            "_probe_available_memory",
+            lambda: (_ for _ in ()).throw(AssertionError("re-probed")),
+        )
+        assert available_memory_bytes() == first
+
+    def test_memory_override_hook(self):
+        try:
+            set_available_memory_bytes(1 << 20)
+            assert available_memory_bytes() == 1 << 20
+            with pytest.raises(EngineError, match="override"):
+                set_available_memory_bytes(0)
+        finally:
+            set_available_memory_bytes(None)
+        assert available_memory_bytes() >= 1
+
+    def test_memory_override_reaches_the_budget(self):
+        dataset = random_categorical_dataset(20, (2, 2), seed=3, skew=1.0)
+        try:
+            set_available_memory_bytes(1 << 20)
+            stats = WorkloadStats.of(dataset)
+            assert stats.memory_budget_bytes <= 1 << 20
+        finally:
+            set_available_memory_bytes(None)
 
     def test_bad_stats_rejected(self):
         with pytest.raises(EngineError, match="rows"):
             stats_for(64, rows=-1)
         with pytest.raises(EngineError, match="memory budget"):
             stats_for(64, budget=0)
+
+
+class TestCostModel:
+    def test_point_python_corner_preserves_legacy_boundary(self):
+        assert _single_index_ceiling("point", "python") == PACKED_MAX_INDEX_BYTES
+
+    def test_batch_and_jit_each_raise_the_ceiling(self):
+        point_py = _single_index_ceiling("point", "python")
+        assert _single_index_ceiling("batch", "python") > point_py
+        assert _single_index_ceiling("point", "jit") > point_py
+        assert _single_index_ceiling("batch", "jit") > max(
+            _single_index_ceiling("batch", "python"),
+            _single_index_ceiling("point", "jit"),
+        )
+        assert JIT_SCAN_SPEEDUP > 1.0
+        assert BATCH_LATENCY_TARGET_SECONDS > 0
+
+    def test_shapes_plan_differently_on_the_same_stats(self):
+        """Acceptance pin: the same workload, queried point-wise vs in
+        level sweeps, crosses the packed->sharded boundary differently."""
+        stats = stats_for(PACKED_MAX_INDEX_BYTES + 1)
+        point = plan_engine(stats, query_shape="point")
+        batch = plan_engine(stats, query_shape="batch")
+        assert point.config.backend == "sharded"
+        assert batch.config.backend == "packed"
+        assert any("point-heavy" in line for line in point.rationale)
+        assert any("batch-heavy" in line for line in batch.rationale)
+
+    def test_algorithm_shapes_reach_describe(self):
+        """deepdiver (point) and apriori (batch) rationales differ on the
+        same dataset."""
+        from repro.core.mups.base import algorithm_query_shape
+
+        assert algorithm_query_shape("deepdiver") == "point"
+        assert algorithm_query_shape("apriori") == "batch"
+        dataset = random_categorical_dataset(80, (3, 3, 2), seed=7, skew=0.8)
+        point = plan_engine(
+            dataset, query_shape=algorithm_query_shape("deepdiver")
+        )
+        batch = plan_engine(
+            dataset, query_shape=algorithm_query_shape("apriori")
+        )
+        assert "query shape 'point'" in point.describe()
+        assert "query shape 'batch'" in batch.describe()
+        assert point.describe() != batch.describe()
+
+    def test_describe_renders_the_cost_model(self):
+        text = plan_engine(stats_for(1 << 20)).describe()
+        assert "cost model:" in text
+        assert "single-index ceiling" in text
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(EngineError, match="query_shape"):
+            plan_engine(stats_for(64), query_shape="diagonal")
+
+    def test_jit_request_without_numba_is_refused(self):
+        if numba_available():
+            pytest.skip("numba installed; forced-jit refusal unreachable")
+        with pytest.raises(EngineError, match="jit"):
+            plan_engine(
+                stats_for(64), EngineConfig(backend=AUTO, kernel_tier="jit")
+            )
+
+    def test_plan_never_assumes_an_unavailable_tier(self):
+        plan = plan_engine(stats_for(1 << 20))
+        assert plan.stats.kernel_tier in ("jit", "python")
+        if not numba_available():
+            assert plan.stats.kernel_tier == "python"
+
+    def test_planned_config_carries_requested_tier_verbatim(self):
+        plan = plan_engine(
+            stats_for(64, dense_bytes=64),
+            EngineConfig(backend=AUTO, kernel_tier="python"),
+        )
+        assert plan.config.backend == "dense"
+        assert plan.config.kernel_tier == "python"
+        # ...and an unset tier stays unset, so planned configs stay
+        # portable across machines with different tiers available.
+        assert plan_engine(stats_for(64, dense_bytes=64)).config.kernel_tier is None
+
+
+class TestStatsMemoization:
+    def test_stats_of_memoizes_per_fingerprint(self):
+        dataset = random_categorical_dataset(50, (3, 2), seed=5, skew=1.0)
+        before = stats_cache_info()
+        first = WorkloadStats.of(dataset)
+        second = WorkloadStats.of(dataset)
+        after = stats_cache_info()
+        assert first is second
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 1
+        assert after["entries"] >= 1
+
+    def test_distinct_budgets_are_distinct_entries(self):
+        dataset = random_categorical_dataset(50, (3, 2), seed=5, skew=1.0)
+        a = WorkloadStats.of(dataset, memory_budget=1 << 20)
+        b = WorkloadStats.of(dataset, memory_budget=1 << 21)
+        assert a is not b
+        assert a.memory_budget_bytes != b.memory_budget_bytes
+
+    def test_invalidate_by_fingerprint_is_selective(self):
+        import repro.core.engine.planner as planner
+
+        one = random_categorical_dataset(50, (3, 2), seed=5, skew=1.0)
+        other = random_categorical_dataset(60, (2, 2, 2), seed=6, skew=1.0)
+        WorkloadStats.of(one)
+        WorkloadStats.of(other)
+        invalidate_stats_cache(one.content_fingerprint())
+        remaining = {key[0] for key in planner._STATS_CACHE}
+        assert one.content_fingerprint() not in remaining
+        assert other.content_fingerprint() in remaining
+
+    def test_incremental_delivery_invalidates(self):
+        import repro.core.engine.planner as planner
+        from repro.core.incremental import IncrementalMupIndex
+
+        dataset = random_categorical_dataset(30, (2, 2), seed=9, skew=1.0)
+        fingerprint = dataset.content_fingerprint()
+        index = IncrementalMupIndex(dataset, threshold=2, engine=AUTO)
+        assert any(key[0] == fingerprint for key in planner._STATS_CACHE)
+        index.add_rows([[0, 1]])
+        # The pre-delivery snapshot is stale the moment rows land.
+        assert all(key[0] != fingerprint for key in planner._STATS_CACHE)
 
 
 class TestEndToEnd:
