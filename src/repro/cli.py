@@ -6,6 +6,7 @@ Subcommands:
 * ``label`` — print the nutritional-label coverage widget for a CSV file.
 * ``enhance`` — plan an acquisition for a CSV file and a target level λ.
 * ``demo`` — run the COMPAS walk-through on the bundled simulator.
+* ``serve`` — run the persistent HTTP/JSON coverage service.
 
 CSV files are expected to contain integer-coded categorical columns; use
 ``--attributes`` to select the attributes of interest.
@@ -14,6 +15,7 @@ CSV files are expected to contain integer-coded categorical columns; use
 from __future__ import annotations
 
 import argparse
+import asyncio
 import csv
 import sys
 from contextlib import contextmanager
@@ -306,6 +308,130 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default=None, help="interface to bind (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 8642; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help="coalescing window for point coverage queries: concurrent "
+        "requests arriving within it merge into one batched engine pass "
+        "and identical patterns share one query (default 2.0; 0 disables "
+        "batching)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="flush a coalescing batch early at this many distinct "
+        "patterns (default 1024)",
+    )
+    parser.add_argument(
+        "--registry-entries",
+        type=int,
+        default=None,
+        help="warm dataset engines kept before LRU eviction (default 8)",
+    )
+    parser.add_argument(
+        "--registry-bytes",
+        type=int,
+        default=None,
+        help="total index bytes the registry keeps warm (default 256 MiB)",
+    )
+    parser.add_argument(
+        "--memory-budget-bytes",
+        type=int,
+        default=None,
+        help="admission control: reject datasets whose planned engine "
+        "projects a larger resident index (default: the planner's probed "
+        "budget)",
+    )
+    parser.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=None,
+        help="admission control: reject datasets whose projected "
+        "single-scan latency exceeds this (default 250)",
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="heavy requests (identify/enhance/deliver/register) running "
+        "at once (default 8)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="heavy requests allowed to queue before 429 saturated "
+        "rejections (default 64)",
+    )
+    parser.add_argument(
+        "--result-cache",
+        type=int,
+        default=None,
+        help="entries in the cross-request result cache (default 4096; "
+        "0 disables)",
+    )
+    parser.add_argument(
+        "--preload",
+        action="append",
+        metavar="CSV",
+        default=None,
+        help="register this integer-coded CSV at startup (repeatable); "
+        "the dataset key is printed before serving begins",
+    )
+    _add_engine_options(parser)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so `repro-coverage identify` and friends never pay for
+    # the serving stack.
+    from repro.serve.config import ServeConfig
+    from repro.serve.http import HttpServer
+    from repro.serve.service import CoverageService
+
+    config = ServeConfig.from_cli_args(args)
+
+    async def _serve() -> None:
+        service = CoverageService(config)
+        server = HttpServer(service)
+        try:
+            for path in args.preload or []:
+                dataset = _load_csv(path, None)
+                report = await service.register_dataset(
+                    dataset.rows.tolist(), names=list(dataset.schema.names)
+                )
+                print(
+                    f"preloaded {path}: dataset={report['dataset']} "
+                    f"backend={report['backend']} rows={report['rows']}",
+                    flush=True,
+                )
+            host, port = await server.start(config.host, config.port)
+            print(
+                f"repro serve: listening on http://{host}:{port}", flush=True
+            )
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            service.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage",
@@ -341,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--limit", type=int, default=20)
     _add_engine_options(demo)
     demo.set_defaults(handler=_cmd_demo)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the persistent HTTP/JSON coverage service (identify / "
+        "label / enhance / deliver endpoints with warm engines, request "
+        "batching, and admission control)",
+    )
+    _add_serve_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

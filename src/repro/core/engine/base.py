@@ -42,6 +42,7 @@ for the benchmarks.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
@@ -108,6 +109,12 @@ class CoverageEngine(ABC):
         self._mask_cache: "OrderedDict[Tuple[int, ...], Mask]" = OrderedDict()
         self._mask_cache_size = max(0, int(mask_cache_size))
         self._mask_cache_nbytes = 0
+        # Serializes every cache mutation: the serving layer answers
+        # concurrent requests on one warm engine, and unsynchronized
+        # insert/evict corrupts the byte accounting (and can evict the
+        # entry just handed out mid-copy).  match_mask keeps a lock-free
+        # fast path when caching is disabled.
+        self._mask_cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -239,22 +246,24 @@ class CoverageEngine(ABC):
 
         Counter values are ints; ``hit_rate`` is a float in ``[0, 1]``.
         """
-        total = self.cache_hits + self.cache_misses
-        return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "entries": len(self._mask_cache),
-            "nbytes": self._mask_cache_nbytes,
-            "max_size": self._mask_cache_size,
-            "hit_rate": (self.cache_hits / total) if total else 0.0,
-        }
+        with self._mask_cache_lock:
+            total = self.cache_hits + self.cache_misses
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "entries": len(self._mask_cache),
+                "nbytes": self._mask_cache_nbytes,
+                "max_size": self._mask_cache_size,
+                "hit_rate": (self.cache_hits / total) if total else 0.0,
+            }
 
     def clear_mask_cache(self) -> None:
         """Drop every cached mask and reset the hit/miss counters."""
-        self._mask_cache.clear()
-        self._mask_cache_nbytes = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._mask_cache_lock:
+            self._mask_cache.clear()
+            self._mask_cache_nbytes = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     @staticmethod
     def _mask_nbytes(mask: Mask) -> int:
@@ -285,26 +294,37 @@ class CoverageEngine(ABC):
         """
         self._check_pattern(pattern)
         if not self._mask_cache_size:
+            # Lock-free fast path: with caching disabled there is no shared
+            # mutable state to guard.
             return self._compute_match_mask(pattern)
         key = pattern.values
-        cached = self._mask_cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            self._mask_cache.move_to_end(key)
-            return self.copy_mask(cached)
-        self.cache_misses += 1
+        with self._mask_cache_lock:
+            cached = self._mask_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._mask_cache.move_to_end(key)
+                # Copy while holding the lock: a concurrent miss could
+                # otherwise evict (and a backend with views into shared
+                # storage invalidate) the entry just handed out.
+                return self.copy_mask(cached)
+            self.cache_misses += 1
+        # The index scan runs outside the lock so concurrent misses compute
+        # in parallel; losing that race just means inserting a value the
+        # winner already cached.
         mask = self._compute_match_mask(pattern)
-        self._mask_cache[key] = self.copy_mask(mask)
-        self._mask_cache_nbytes += self._mask_nbytes(mask)
-        # Evict by entry count and by byte budget (always keeping the
-        # newest entry, so one huge mask degrades to a 1-entry cache
-        # instead of thrashing).
-        while len(self._mask_cache) > 1 and (
-            len(self._mask_cache) > self._mask_cache_size
-            or self._mask_cache_nbytes > DEFAULT_MASK_CACHE_BYTES
-        ):
-            _, evicted = self._mask_cache.popitem(last=False)
-            self._mask_cache_nbytes -= self._mask_nbytes(evicted)
+        with self._mask_cache_lock:
+            if key not in self._mask_cache:
+                self._mask_cache[key] = self.copy_mask(mask)
+                self._mask_cache_nbytes += self._mask_nbytes(mask)
+            # Evict by entry count and by byte budget (always keeping the
+            # newest entry, so one huge mask degrades to a 1-entry cache
+            # instead of thrashing).
+            while len(self._mask_cache) > 1 and (
+                len(self._mask_cache) > self._mask_cache_size
+                or self._mask_cache_nbytes > DEFAULT_MASK_CACHE_BYTES
+            ):
+                _, evicted = self._mask_cache.popitem(last=False)
+                self._mask_cache_nbytes -= self._mask_nbytes(evicted)
         return mask
 
     def coverage(self, pattern: Pattern) -> int:

@@ -54,6 +54,8 @@ from __future__ import annotations
 import os
 import re
 import tempfile
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Union
 
@@ -374,11 +376,13 @@ class WorkloadStats:
             memory_budget,
             resolve_kernel_tier(None),
         )
-        cached = _STATS_CACHE.get(key)
-        if cached is not None:
-            _STATS_COUNTERS["hits"] += 1
-            return cached
-        _STATS_COUNTERS["misses"] += 1
+        with _STATS_LOCK:
+            cached = _STATS_CACHE.get(key)
+            if cached is not None:
+                _STATS_COUNTERS["hits"] += 1
+                _STATS_CACHE.move_to_end(key)
+                return cached
+            _STATS_COUNTERS["misses"] += 1
         cardinalities = tuple(int(c) for c in dataset.cardinalities)
         combinations = 1
         for cardinality in cardinalities:
@@ -403,24 +407,46 @@ class WorkloadStats:
             memory_budget_bytes=int(memory_budget),
             cpu_count=os.cpu_count() or 1,
         )
-        _STATS_CACHE[key] = stats
+        with _STATS_LOCK:
+            # A concurrent WorkloadStats.of may have won the race while the
+            # snapshot was being derived; keep the first-inserted instance
+            # so every caller shares one object, as memoization promises.
+            winner = _STATS_CACHE.get(key)
+            if winner is not None:
+                _STATS_CACHE.move_to_end(key)
+                return winner
+            _STATS_CACHE[key] = stats
+            while len(_STATS_CACHE) > STATS_CACHE_MAX_ENTRIES:
+                _STATS_CACHE.popitem(last=False)
+                _STATS_COUNTERS["evictions"] += 1
         return stats
 
 
+#: The stats memo is process-global and the serving layer plans from many
+#: threads at once, so every access goes through this lock; the LRU bound
+#: keeps a long-lived server that touches many datasets from growing the
+#: memo forever.
+STATS_CACHE_MAX_ENTRIES = 256
+
 #: Memoized WorkloadStats snapshots, keyed by (content fingerprint,
 #: requested budget, process-default kernel tier); the stats are frozen,
-#: so sharing one instance across planner calls is safe.
-_STATS_CACHE: Dict[Tuple, "WorkloadStats"] = {}
-_STATS_COUNTERS = {"hits": 0, "misses": 0}
+#: so sharing one instance across planner calls is safe.  Insertion order
+#: doubles as recency (hits move_to_end) for the LRU bound above.
+_STATS_CACHE: "OrderedDict[Tuple, WorkloadStats]" = OrderedDict()
+_STATS_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+_STATS_LOCK = threading.Lock()
 
 
 def stats_cache_info() -> Dict[str, int]:
-    """Hit/miss counters and occupancy of the stats memo."""
-    return {
-        "hits": _STATS_COUNTERS["hits"],
-        "misses": _STATS_COUNTERS["misses"],
-        "entries": len(_STATS_CACHE),
-    }
+    """Hit/miss/eviction counters and occupancy of the stats memo."""
+    with _STATS_LOCK:
+        return {
+            "hits": _STATS_COUNTERS["hits"],
+            "misses": _STATS_COUNTERS["misses"],
+            "evictions": _STATS_COUNTERS["evictions"],
+            "entries": len(_STATS_CACHE),
+            "max_entries": STATS_CACHE_MAX_ENTRIES,
+        }
 
 
 def invalidate_stats_cache(fingerprint: Optional[str] = None) -> None:
@@ -430,11 +456,12 @@ def invalidate_stats_cache(fingerprint: Optional[str] = None) -> None:
     (the incremental index does this on every delivery) so the next auto
     plan re-derives its projections instead of reusing stale ones.
     """
-    if fingerprint is None:
-        _STATS_CACHE.clear()
-        return
-    for key in [k for k in _STATS_CACHE if k[0] == fingerprint]:
-        del _STATS_CACHE[key]
+    with _STATS_LOCK:
+        if fingerprint is None:
+            _STATS_CACHE.clear()
+            return
+        for key in [k for k in _STATS_CACHE if k[0] == fingerprint]:
+            del _STATS_CACHE[key]
 
 
 @dataclass(frozen=True)

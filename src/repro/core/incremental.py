@@ -60,6 +60,12 @@ class IncrementalMupIndex:
         threshold: the coverage threshold τ (fixed for the index lifetime).
         algorithm: identification algorithm for the initial computation.
         engine: coverage-engine backend used for every (re)built oracle.
+        oracle: an already-warm oracle over ``dataset`` to adopt instead of
+            building a fresh index (the serving layer registers datasets
+            before any threshold is known).  The index takes ownership: the
+            adopted oracle's engine is closed on the first delivery, like
+            every engine the index builds itself.  Its engine's template
+            configures the rebuilds unless ``engine`` is also given.
     """
 
     def __init__(
@@ -68,14 +74,26 @@ class IncrementalMupIndex:
         threshold: int,
         algorithm: str = "deepdiver",
         engine: EngineSpec = None,
+        oracle: CoverageOracle = None,
     ) -> None:
         if threshold < 1:
             raise ReproError(f"threshold must be >= 1, got {threshold}")
         self._space = PatternSpace.for_dataset(dataset)
         self._threshold = threshold
         self._dataset = dataset
-        self._engine_spec = _engine_template(engine)
-        self._oracle = CoverageOracle(dataset, engine=self._engine_spec)
+        if oracle is not None:
+            if oracle.dataset is not dataset:
+                raise ReproError(
+                    "the adopted oracle indexes a different dataset than "
+                    "the one the index maintains"
+                )
+            self._engine_spec = _engine_template(
+                engine if engine is not None else oracle.engine
+            )
+            self._oracle = oracle
+        else:
+            self._engine_spec = _engine_template(engine)
+            self._oracle = CoverageOracle(dataset, engine=self._engine_spec)
         initial = find_mups(
             dataset, threshold=threshold, algorithm=algorithm, oracle=self._oracle
         )
@@ -88,6 +106,16 @@ class IncrementalMupIndex:
     @property
     def dataset(self) -> Dataset:
         return self._dataset
+
+    @property
+    def oracle(self) -> CoverageOracle:
+        """The oracle over the current dataset (replaced on every delivery).
+
+        Consumers that keep long-lived references (the serving layer's
+        snapshots) must re-read this property after a delivery; the
+        previously returned oracle keeps answering for the *old* dataset.
+        """
+        return self._oracle
 
     @property
     def threshold(self) -> int:
@@ -107,20 +135,29 @@ class IncrementalMupIndex:
         """Current coverage of a pattern."""
         return self._oracle.coverage(pattern)
 
-    def _rebuild_oracle(self) -> None:
-        """Re-index the (mutated) dataset, retiring the old engine.
+    def _rebuild_oracle(self, new_dataset: Dataset) -> None:
+        """Re-index ``new_dataset`` and swap it in, retiring the old engine.
 
-        The engines this index builds are its own (prebuilt instances are
-        reduced to templates in ``__init__``), so the outgoing engine is
-        closed eagerly — worker pools shut down and out-of-core spill
-        directories are deleted instead of lingering until GC.
+        Exception-safe: the new oracle is built *before* any state changes,
+        so a failed construction (e.g. a spill-dir write error) leaves the
+        index fully consistent on the old dataset + old oracle, still
+        answering queries.  On success the dataset and oracle swap together
+        and the retired engine is closed in a ``finally`` — worker pools
+        shut down and out-of-core spill directories are deleted instead of
+        leaking (or lingering until GC).  The engines this index builds are
+        its own: prebuilt instances are reduced to templates in
+        ``__init__``.
         """
+        new_oracle = CoverageOracle(new_dataset, engine=self._engine_spec)
         retired = self._oracle.engine
-        # The retired dataset's planner stats are stale the moment the
-        # delivery lands; drop them so a later plan re-measures.
-        invalidate_stats_cache(retired.dataset.content_fingerprint())
-        self._oracle = CoverageOracle(self._dataset, engine=self._engine_spec)
-        retired.close()
+        try:
+            # The retired dataset's planner stats are stale the moment the
+            # delivery lands; drop them so a later plan re-measures.
+            invalidate_stats_cache(self._dataset.content_fingerprint())
+            self._dataset = new_dataset
+            self._oracle = new_oracle
+        finally:
+            retired.close()
 
     # ------------------------------------------------------------------
     # additions
@@ -136,8 +173,7 @@ class IncrementalMupIndex:
             return []
         if addition.ndim == 1:
             addition = addition.reshape(1, -1)
-        self._dataset = self._dataset.append_rows(addition)
-        self._rebuild_oracle()
+        self._rebuild_oracle(self._dataset.append_rows(addition))
 
         # Only MUPs matching some new tuple changed coverage.
         touched = [
@@ -208,8 +244,7 @@ class IncrementalMupIndex:
         keep = np.ones(self._dataset.n, dtype=bool)
         keep[indices] = False
         before = set(self._mups)
-        self._dataset = self._dataset.mask(keep)
-        self._rebuild_oracle()
+        self._rebuild_oracle(self._dataset.mask(keep))
 
         # 1. Existing MUPs may stop being maximal (a parent became
         #    uncovered) — exactly when the parent matches a removed tuple.

@@ -1,0 +1,356 @@
+"""The serving facade: coverage-as-a-service request handlers.
+
+:class:`CoverageService` owns the four serving pieces — warm-engine
+registry, request batcher, admission controller, cross-request result
+cache — and exposes one async method per endpoint.  The HTTP layer
+(:mod:`repro.serve.http`) is a thin JSON shim over these methods, so tests
+and the benchmark harness can drive the full serving semantics in-process
+without sockets.
+
+Request lifecycle:
+
+* every read captures ``entry.snapshot`` once and answers entirely from it
+  (snapshot isolation across concurrent deliveries);
+* point coverage queries check the result cache, then ride the batcher;
+* heavy requests (register / identify / enhance / deliver) pass admission
+  control and run in the default executor so the event loop keeps
+  accepting traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.coverage import max_covered_level
+from repro.core.enhancement.expansion import uncovered_at_level
+from repro.core.enhancement.greedy import greedy_cover
+from repro.core.mups.base import ALGORITHMS, find_mups
+from repro.core.pattern import Pattern, X
+from repro.core.pattern_graph import PatternSpace
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError, ServeError
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import CoverageBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.registry import EngineRegistry, Snapshot
+
+
+def _parse_pattern(value: Any, d: int) -> Pattern:
+    """A wire pattern: compact string (``"1XX0"``) or value list.
+
+    Lists use ``null`` (JSON) / ``None`` for the wildcard, supporting
+    cardinalities past 10 where the compact form is ambiguous.
+    """
+    try:
+        if isinstance(value, str):
+            pattern = Pattern.from_string(value)
+        elif isinstance(value, (list, tuple)):
+            pattern = Pattern.of(*value)
+        else:
+            raise ServeError(
+                "bad_pattern",
+                f"pattern must be a compact string or a value list, "
+                f"got {value!r}",
+            )
+    except ReproError as error:
+        if isinstance(error, ServeError):
+            raise
+        raise ServeError("bad_pattern", str(error)) from error
+    if len(pattern) != d:
+        raise ServeError(
+            "bad_pattern",
+            f"pattern {value!r} has {len(pattern)} elements; dataset has {d}",
+        )
+    return pattern
+
+
+def _pattern_values(pattern: Pattern) -> List[Optional[int]]:
+    """JSON form of a pattern: value list with ``None`` wildcards."""
+    return [None if v == X else int(v) for v in pattern]
+
+
+class CoverageService:
+    """Answers serving requests over a registry of warm engines."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.registry = EngineRegistry(
+            config.engine,
+            max_entries=config.registry_max_entries,
+            max_bytes=config.registry_max_bytes,
+        )
+        self.batcher = CoverageBatcher(
+            config.batch_window_seconds, config.max_batch
+        )
+        self.cache = ResultCache(config.result_cache_size)
+        self.admission = AdmissionController(
+            config.engine,
+            memory_budget_bytes=config.memory_budget_bytes,
+            latency_budget_seconds=config.latency_budget_ms / 1000.0,
+            max_concurrent=config.max_concurrent,
+            max_queue=config.max_queue,
+        )
+
+    # ------------------------------------------------------------------
+    # dataset lifecycle
+    # ------------------------------------------------------------------
+    async def register_dataset(
+        self,
+        rows: Sequence[Sequence[int]],
+        names: Optional[Sequence[str]] = None,
+    ) -> Dict:
+        """Build and warm an engine for the posted rows."""
+        if not rows:
+            raise ServeError("bad_request", "rows must be a non-empty list")
+        loop = asyncio.get_running_loop()
+        try:
+            dataset = await loop.run_in_executor(
+                None, lambda: Dataset.from_rows(rows, names=names)
+            )
+        except (ReproError, TypeError, ValueError) as error:
+            raise ServeError("bad_request", f"bad rows payload: {error}")
+        plan = await loop.run_in_executor(
+            None, self.admission.check_budget, dataset
+        )
+        async with self.admission.heavy():
+            entry, created = await loop.run_in_executor(
+                None, self.registry.register, dataset
+            )
+        return {
+            "dataset": entry.key,
+            "fingerprint": entry.snapshot.fingerprint,
+            "created": created,
+            "rows": int(entry.snapshot.dataset.n),
+            "d": int(entry.snapshot.dataset.d),
+            "backend": type(entry.snapshot.oracle.engine).name,
+            "index_nbytes": entry.nbytes,
+            "plan": list(plan.rationale),
+        }
+
+    def _snapshot(self, dataset_key: Any) -> Snapshot:
+        if not isinstance(dataset_key, str):
+            raise ServeError(
+                "bad_request", f"dataset must be a fingerprint string"
+            )
+        return self.registry.get(dataset_key).snapshot
+
+    # ------------------------------------------------------------------
+    # point coverage: label
+    # ------------------------------------------------------------------
+    async def label(
+        self,
+        dataset_key: str,
+        patterns: Sequence[Any],
+        threshold: Optional[int] = None,
+    ) -> Dict:
+        """Coverage (and, with τ, covered flags) of the posted patterns.
+
+        Each pattern resolves independently through the result cache and
+        the batcher, so concurrent ``label`` calls across clients coalesce
+        into shared engine passes.
+        """
+        snapshot = self._snapshot(dataset_key)
+        if not isinstance(patterns, (list, tuple)) or not patterns:
+            raise ServeError(
+                "bad_request", "patterns must be a non-empty list"
+            )
+        parsed = [_parse_pattern(p, snapshot.dataset.d) for p in patterns]
+        if len(parsed) == 1:  # point queries skip the gather machinery
+            counts = [await self._cached_coverage(snapshot, parsed[0])]
+        else:
+            counts = await asyncio.gather(
+                *(self._cached_coverage(snapshot, p) for p in parsed)
+            )
+        body: Dict[str, Any] = {
+            "dataset": dataset_key,
+            "fingerprint": snapshot.fingerprint,
+            "patterns": [_pattern_values(p) for p in parsed],
+            "coverage": [int(c) for c in counts],
+            "total": int(snapshot.dataset.n),
+        }
+        if threshold is not None:
+            threshold = int(threshold)
+            body["threshold"] = threshold
+            body["covered"] = [bool(c >= threshold) for c in counts]
+        return body
+
+    async def _cached_coverage(
+        self, snapshot: Snapshot, pattern: Pattern
+    ) -> int:
+        key = ("cov", snapshot.fingerprint, pattern.values)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        count = await self.batcher.coverage(snapshot, pattern)
+        self.cache.put(key, count)
+        return count
+
+    # ------------------------------------------------------------------
+    # identify / enhance
+    # ------------------------------------------------------------------
+    def _check_identify_args(self, threshold: Any, algorithm: str) -> int:
+        try:
+            threshold = int(threshold)
+        except (TypeError, ValueError):
+            raise ServeError(
+                "bad_request", f"threshold must be an integer, got {threshold!r}"
+            )
+        if threshold < 1:
+            raise ServeError(
+                "bad_request", f"threshold must be >= 1, got {threshold}"
+            )
+        if algorithm not in ALGORITHMS:
+            raise ServeError(
+                "bad_request",
+                f"unknown algorithm {algorithm!r}; "
+                f"available: {sorted(ALGORITHMS)}",
+            )
+        return threshold
+
+    async def identify(
+        self,
+        dataset_key: str,
+        threshold: Any,
+        algorithm: str = "deepdiver",
+    ) -> Dict:
+        """MUPs of the dataset at τ, memoized per content fingerprint."""
+        snapshot = self._snapshot(dataset_key)
+        threshold = self._check_identify_args(threshold, algorithm)
+        key = ("mups", snapshot.fingerprint, threshold, algorithm)
+        mups = self.cache.get(key)
+        if mups is None:
+            entry = self.registry.get(dataset_key)
+            index = entry.index
+            if (
+                index is not None
+                and index.threshold == threshold
+                and index.dataset is snapshot.dataset
+            ):
+                # The delivery index already maintains this τ's MUP set.
+                mups = index.mups()
+            else:
+                loop = asyncio.get_running_loop()
+                async with self.admission.heavy():
+                    result = await loop.run_in_executor(
+                        None,
+                        lambda: find_mups(
+                            snapshot.dataset,
+                            threshold=threshold,
+                            algorithm=algorithm,
+                            oracle=snapshot.oracle,
+                        ),
+                    )
+                mups = result.mups
+            self.cache.put(key, mups)
+        return {
+            "dataset": dataset_key,
+            "fingerprint": snapshot.fingerprint,
+            "threshold": threshold,
+            "algorithm": algorithm,
+            "mups": [_pattern_values(p) for p in mups],
+            "mup_strings": [str(p) for p in mups],
+            "count": len(mups),
+            "max_covered_level": max_covered_level(
+                mups, d=snapshot.dataset.d
+            ),
+        }
+
+    async def enhance(
+        self,
+        dataset_key: str,
+        threshold: Any,
+        level: Any,
+        algorithm: str = "deepdiver",
+    ) -> Dict:
+        """Greedy acquisition plan reaching covered level λ."""
+        snapshot = self._snapshot(dataset_key)
+        threshold = self._check_identify_args(threshold, algorithm)
+        try:
+            level = int(level)
+        except (TypeError, ValueError):
+            raise ServeError(
+                "bad_request", f"level must be an integer, got {level!r}"
+            )
+        if not 0 <= level <= snapshot.dataset.d:
+            raise ServeError(
+                "bad_request",
+                f"level must be in [0, {snapshot.dataset.d}], got {level}",
+            )
+        key = ("enhance", snapshot.fingerprint, threshold, level, algorithm)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        identified = await self.identify(dataset_key, threshold, algorithm)
+        mups = [
+            Pattern.of(*values) for values in identified["mups"]
+        ]
+        loop = asyncio.get_running_loop()
+        async with self.admission.heavy():
+            body = await loop.run_in_executor(
+                None, self._plan_enhancement, snapshot, mups, level
+            )
+        body.update(
+            dataset=dataset_key,
+            fingerprint=snapshot.fingerprint,
+            threshold=threshold,
+            level=level,
+        )
+        self.cache.put(key, dict(body))
+        return body
+
+    def _plan_enhancement(
+        self, snapshot: Snapshot, mups: List[Pattern], level: int
+    ) -> Dict:
+        space = PatternSpace.for_dataset(snapshot.dataset)
+        targets = uncovered_at_level(mups, space, level)
+        plan = greedy_cover(targets, space, engine=self.config.engine)
+        return {
+            "targets": len(targets),
+            "combinations": [list(map(int, combo)) for combo in plan.combinations],
+            "unhittable": [_pattern_values(p) for p in plan.unhittable],
+        }
+
+    # ------------------------------------------------------------------
+    # deliveries
+    # ------------------------------------------------------------------
+    async def deliver(
+        self,
+        dataset_key: str,
+        rows: Sequence[Sequence[int]],
+        threshold: Optional[int] = None,
+        algorithm: str = "deepdiver",
+    ) -> Dict:
+        """Append rows under snapshot semantics; returns the delivery report."""
+        entry = self.registry.get(dataset_key)
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise ServeError("bad_request", "rows must be a non-empty list")
+        old_fingerprint = entry.snapshot.fingerprint
+        loop = asyncio.get_running_loop()
+        async with self.admission.heavy():
+            report = await loop.run_in_executor(
+                None,
+                lambda: self.registry.deliver(
+                    entry, rows, threshold, algorithm
+                ),
+            )
+        # Keys embed the fingerprint, so stale results are unreachable
+        # already; invalidating reclaims their space eagerly.
+        self.cache.invalidate(old_fingerprint)
+        return report
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        return {
+            "config": self.config.to_dict(),
+            "registry": self.registry.info(),
+            "batcher": self.batcher.info(),
+            "result_cache": self.cache.info(),
+            "admission": self.admission.info(),
+        }
+
+    def close(self) -> None:
+        self.registry.close()

@@ -200,3 +200,63 @@ class TestCliEngineFlag:
         help_text = capsys.readouterr().out
         assert "--engine" in help_text
         assert "packed" in help_text
+
+
+class TestMaskCacheConcurrency:
+    """Regression: the hot-mask LRU under concurrent ``match_mask`` calls.
+
+    Before the cache took a lock, two threads missing on the same pattern
+    could both insert the mask (double-counting its bytes) while evictions
+    subtracted sizes that were never added — ``cache_info()["nbytes"]``
+    went negative and the counters drifted from the call count.
+    """
+
+    def test_threaded_match_mask_keeps_accounting_consistent(self):
+        import random
+        import threading
+
+        from repro.data.synthetic import random_categorical_dataset
+
+        dataset = random_categorical_dataset(300, (3, 3, 2, 2), seed=5, skew=0.8)
+        engine = PackedBitsetEngine(dataset, mask_cache_size=4)
+        pool = [Pattern.of(*row) for row in {tuple(r) for r in dataset.rows}]
+        pool = sorted(pool, key=lambda p: p.values)[:12]
+        truth = {
+            p.values: sum(1 for row in dataset.rows if p.matches(row))
+            for p in pool
+        }
+
+        n_threads, iterations = 8, 30
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            barrier.wait()
+            for _ in range(iterations):
+                pattern = rng.choice(pool)
+                count = engine.coverage(pattern)
+                if count != truth[pattern.values]:
+                    errors.append(("count", pattern, count))
+                info = engine.cache_info()
+                if info["nbytes"] < 0:
+                    errors.append(("negative nbytes", dict(info)))
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert not errors, errors[:3]
+            info = engine.cache_info()
+            # Every coverage call is exactly one hit or one miss.
+            assert info["hits"] + info["misses"] == n_threads * iterations
+            assert info["entries"] <= 4
+            assert info["nbytes"] >= 0
+            assert 0.0 <= info["hit_rate"] <= 1.0
+        finally:
+            engine.close()

@@ -203,3 +203,56 @@ class TestEngineCacheUnderMutation:
         # ...with a cold cache (no state carried over from the old dataset).
         assert rebuilt.dataset is index.dataset
         assert set(index.mups()) == scratch_mups(index.dataset, 2)
+
+
+class FlakyEngineFactory:
+    """Builds real dense engines but raises on a chosen build number."""
+
+    def __init__(self, fail_on):
+        self.builds = 0
+        self.fail_on = fail_on
+
+    def __call__(self, dataset):
+        from repro.core.engine import DenseBoolEngine
+
+        self.builds += 1
+        if self.builds == self.fail_on:
+            raise RuntimeError("simulated index-build failure")
+        return DenseBoolEngine(dataset)
+
+
+class TestFailedRebuild:
+    """Regression: a failed delivery rebuild must not corrupt the index.
+
+    The rebuild used to swap state piecemeal, so a failed oracle build
+    (e.g. a spill-dir write error) could leave the index pointing at a
+    retired engine or a half-updated dataset.  Now the new oracle is
+    constructed before anything changes: on failure the index keeps
+    answering from the old state, and a later delivery still succeeds.
+    """
+
+    def test_failed_add_leaves_index_consistent(self, example1_dataset):
+        factory = FlakyEngineFactory(fail_on=2)  # build 1 is __init__
+        index = IncrementalMupIndex(
+            example1_dataset, threshold=1, engine=factory
+        )
+        before_mups = set(index.mups())
+        before_n = index.dataset.n
+        probe = Pattern.from_string("1XX")
+        before_coverage = index.coverage(probe)
+
+        with pytest.raises(RuntimeError, match="simulated index-build"):
+            index.add_rows([(1, 1, 1)])
+
+        # Old state intact and still answering queries.
+        assert index.dataset.n == before_n
+        assert set(index.mups()) == before_mups
+        assert index.coverage(probe) == before_coverage
+        assert set(index.mups()) == scratch_mups(index.dataset, 1)
+
+        # The next delivery (build 3) succeeds and repairs the MUP set.
+        resolved = index.add_rows([(1, 1, 1)])
+        assert resolved == [Pattern.from_string("1XX")]
+        assert index.dataset.n == before_n + 1
+        assert set(index.mups()) == scratch_mups(index.dataset, 1)
+        assert factory.builds == 3

@@ -416,3 +416,75 @@ class TestEndToEnd:
         assert "engine plan: backend=sharded" in text
         assert "memory budget" in text
         assert "out-of-core" in text
+
+
+class TestStatsCacheBound:
+    """Regression: the stats memo is LRU-bounded and thread-consistent.
+
+    The memo used to be an unlocked, unbounded module dict: a long-lived
+    server planning for many datasets grew it without limit, and
+    concurrent ``WorkloadStats.of`` calls raced on insert, so callers
+    could end up holding different snapshot instances for one dataset.
+    """
+
+    @staticmethod
+    def _dataset(seed, n):
+        from repro.data.synthetic import random_categorical_dataset
+
+        # Distinct row counts guarantee distinct content fingerprints.
+        return random_categorical_dataset(n, (2, 2), seed=seed, skew=1.0)
+
+    def test_lru_bound_evicts_oldest(self, monkeypatch):
+        from repro.core.engine import planner
+
+        invalidate_stats_cache()
+        monkeypatch.setattr(planner, "STATS_CACHE_MAX_ENTRIES", 3)
+        before = stats_cache_info()
+        datasets = [self._dataset(seed, n=10 + seed) for seed in range(6)]
+        snapshots = [WorkloadStats.of(ds) for ds in datasets]
+        info = stats_cache_info()
+        assert info["entries"] <= 3
+        assert info["max_entries"] == 3
+        assert info["misses"] - before["misses"] == 6
+        assert info["evictions"] - before["evictions"] >= 3
+        # The newest entries survived: re-requesting is a hit that returns
+        # the memoized instance, not a rebuild.
+        assert WorkloadStats.of(datasets[-1]) is snapshots[-1]
+        after = stats_cache_info()
+        assert after["hits"] == info["hits"] + 1
+        # The oldest was evicted: re-requesting is a fresh miss.
+        WorkloadStats.of(datasets[0])
+        assert stats_cache_info()["misses"] == after["misses"] + 1
+
+    def test_threaded_of_shares_one_snapshot(self):
+        import threading
+
+        invalidate_stats_cache()
+        dataset = self._dataset(seed=99, n=40)
+        before = stats_cache_info()
+        n_threads, iterations = 8, 25
+        barrier = threading.Barrier(n_threads)
+        results = []
+
+        def worker():
+            barrier.wait()
+            for _ in range(iterations):
+                results.append(WorkloadStats.of(dataset))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Memoization promise: every caller shares the first-inserted
+        # instance, even the threads that lost the insert race.
+        assert len(results) == n_threads * iterations
+        assert all(snapshot is results[0] for snapshot in results)
+        info = stats_cache_info()
+        # Counter accuracy under contention: each call is exactly one hit
+        # or one miss, never both, never neither.
+        assert (info["hits"] - before["hits"]) + (
+            info["misses"] - before["misses"]
+        ) == n_threads * iterations
+        assert info["misses"] - before["misses"] >= 1
