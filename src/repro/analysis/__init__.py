@@ -5,6 +5,15 @@ reports, and threshold-selection helpers.
 from repro.analysis.diff import CoverageDiff, coverage_diff
 from repro.analysis.nutrition import CoverageLabel, coverage_label
 from repro.analysis.report import mup_report, enhancement_report
+from repro.analysis.sweep import (
+    MupTransition,
+    SensitivityReport,
+    SweepPoint,
+    SweepResult,
+    parse_tau_range,
+    sweep_mups,
+    threshold_sensitivity,
+)
 from repro.analysis.thresholds import threshold_sweep, suggest_threshold
 
 __all__ = [
@@ -14,6 +23,13 @@ __all__ = [
     "coverage_label",
     "mup_report",
     "enhancement_report",
+    "MupTransition",
+    "SensitivityReport",
+    "SweepPoint",
+    "SweepResult",
+    "parse_tau_range",
+    "sweep_mups",
+    "threshold_sensitivity",
     "threshold_sweep",
     "suggest_threshold",
 ]

@@ -4,6 +4,11 @@ The paper picks τ from statistical rules of thumb (20–50 samples per minor
 subgroup; the Figure 11 accuracy curve flattens around 40).  These helpers
 support that workflow: sweep τ and watch the MUP count, and locate the knee
 of a subgroup-accuracy curve.
+
+``threshold_sweep`` is backed by the amortized engine in
+:mod:`repro.analysis.sweep`: one traversal counts each pattern once and
+classifies every queried τ from its coverage interval, instead of rerunning
+MUP identification per threshold.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.core.mups.base import find_mups
+from repro.analysis.sweep import sweep_mups
+from repro.core.engine import EngineSpec
+from repro.core.mups.base import ALGORITHMS
 from repro.data.dataset import Dataset
 from repro.exceptions import ReproError
 
@@ -35,13 +42,25 @@ def threshold_sweep(
     dataset: Dataset,
     thresholds: Sequence[int],
     algorithm: str = "deepdiver",
+    engine: EngineSpec = None,
 ) -> List[ThresholdSweepRow]:
-    """Run MUP identification across a list of thresholds."""
+    """MUP counts across a list of thresholds, in one amortized pass.
+
+    ``algorithm`` is kept for interface stability and validated against
+    the registry, but the rows come from a single
+    :func:`~repro.analysis.sweep.sweep_mups` traversal (bit-identical MUP
+    sets to any registered algorithm, counted once for the whole range).
+    """
     if not thresholds:
         raise ReproError("need at least one threshold")
+    if algorithm not in ALGORITHMS:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        )
+    sweep = sweep_mups(dataset, thresholds, engine=engine)
     rows = []
     for threshold in thresholds:
-        result = find_mups(dataset, threshold=threshold, algorithm=algorithm)
+        result = sweep.mups_at(int(threshold))
         rows.append(
             ThresholdSweepRow(
                 threshold=int(threshold),

@@ -5,6 +5,7 @@ Subcommands:
 * ``identify`` — run MUP identification on a CSV file.
 * ``label`` — print the nutritional-label coverage widget for a CSV file.
 * ``enhance`` — plan an acquisition for a CSV file and a target level λ.
+* ``sweep`` — amortized threshold sweep with a MUP sensitivity report.
 * ``demo`` — run the COMPAS walk-through on the bundled simulator.
 * ``serve`` — run the persistent HTTP/JSON coverage service.
 
@@ -17,12 +18,19 @@ from __future__ import annotations
 import argparse
 import asyncio
 import csv
+import json
 import sys
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence
 
+from repro._util import format_table
 from repro.analysis.nutrition import coverage_label
 from repro.analysis.report import enhancement_report, mup_report
+from repro.analysis.sweep import (
+    SensitivityReport,
+    parse_tau_range,
+    threshold_sensitivity,
+)
 from repro.core.coverage import CoverageOracle
 from repro.core.engine import (
     AUTO,
@@ -175,7 +183,11 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_engine(args: argparse.Namespace, dataset: Dataset) -> CoverageEngine:
+def _build_engine(
+    args: argparse.Namespace,
+    dataset: Dataset,
+    query_shape: Optional[str] = None,
+) -> CoverageEngine:
     """The engine selected by the CLI flags, built against ``dataset``.
 
     The flags are lifted into one declarative :class:`EngineConfig`
@@ -185,12 +197,16 @@ def _build_engine(args: argparse.Namespace, dataset: Dataset) -> CoverageEngine:
     rationale before the command runs.
     """
     config = EngineConfig.from_cli_args(args)
-    # The chosen algorithm fixes how the engine will be queried (DFS point
-    # probes vs level-sweep batches); plan with that shape so the cost
-    # model's ceiling matches the workload.  Commands without an
-    # --algorithm flag (demo) run deepdiver.
-    shape = algorithm_query_shape(getattr(args, "algorithm", "deepdiver"))
-    plan = plan_engine(dataset, config, query_shape=shape)
+    # The workload fixes how the engine will be queried (DFS point probes
+    # vs level-sweep batches vs a whole amortized τ sweep); plan with that
+    # shape so the cost model's ceiling matches.  Commands that run a
+    # single algorithm derive the shape from it (demo runs deepdiver);
+    # `sweep` passes its shape explicitly.
+    if query_shape is None:
+        query_shape = algorithm_query_shape(
+            getattr(args, "algorithm", "deepdiver")
+        )
+    plan = plan_engine(dataset, config, query_shape=query_shape)
     if getattr(args, "explain_plan", False):
         print(plan.describe())
         print()
@@ -202,7 +218,9 @@ def _build_engine(args: argparse.Namespace, dataset: Dataset) -> CoverageEngine:
 
 @contextmanager
 def _engine_scope(
-    args: argparse.Namespace, dataset: Dataset
+    args: argparse.Namespace,
+    dataset: Dataset,
+    query_shape: Optional[str] = None,
 ) -> Iterator[CoverageEngine]:
     """Build the CLI-selected engine and close it when the command ends.
 
@@ -210,7 +228,7 @@ def _engine_scope(
     out-of-core spill directories are removed when the run finishes, not
     whenever GC gets around to it.
     """
-    engine = _build_engine(args, dataset)
+    engine = _build_engine(args, dataset, query_shape=query_shape)
     try:
         yield engine
     finally:
@@ -245,6 +263,95 @@ def _cmd_label(args: argparse.Namespace) -> int:
             engine=engine,
         )
         print(label.render())
+    return 0
+
+
+def _render_sensitivity(report: SensitivityReport, limit: int) -> str:
+    """Plain-text sensitivity report: the τ curve, diffs, and breakpoints."""
+    lines = [
+        f"threshold sweep over τ ∈ [{report.thresholds[0]}, "
+        f"{report.thresholds[-1]}] ({len(report.thresholds)} settings)",
+        "",
+    ]
+    rows = []
+    for tau in report.thresholds:
+        rows.append(
+            [
+                tau,
+                report.counts[tau],
+                len(report.appeared.get(tau, ())),
+                len(report.disappeared.get(tau, ())),
+            ]
+        )
+    lines.append(
+        format_table(["tau", "mups", "appeared", "disappeared"], rows)
+    )
+    if report.transitions:
+        lines.append("")
+        lines.append(f"τ* breakpoints (first {limit}):")
+        rows = [
+            [
+                str(t.pattern),
+                t.appears_at,
+                "-" if t.disappears_above is None else t.disappears_above,
+            ]
+            for t in report.transitions[:limit]
+        ]
+        lines.append(
+            format_table(["pattern", "appears at", "disappears above"], rows)
+        )
+        if len(report.transitions) > limit:
+            lines.append(f"... {len(report.transitions) - limit} more")
+    if report.bootstrap_replicates:
+        lines.append("")
+        lines.append(
+            f"bootstrap support over {report.bootstrap_replicates} "
+            f"replicates (seed {report.seed}):"
+        )
+        rows = []
+        for tau in report.thresholds:
+            table = report.support.get(tau, {})
+            fragile = sum(1 for s in table.values() if s < 1.0)
+            mean = (
+                sum(table.values()) / len(table) if table else 1.0
+            )
+            rows.append(
+                [
+                    tau,
+                    f"{mean:.2f}",
+                    fragile,
+                    f"{report.novel_rate.get(tau, 0.0):.1f}",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["tau", "mean support", "fragile mups", "novel/replicate"],
+                rows,
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = _load_csv(args.csv, args.attributes)
+    if args.tau_range is not None:
+        thresholds = parse_tau_range(args.tau_range)
+    else:
+        thresholds = tuple(args.thresholds)
+    with _engine_scope(args, dataset, query_shape="sweep") as engine:
+        oracle = CoverageOracle(dataset, engine=engine)
+        report = threshold_sensitivity(
+            dataset,
+            thresholds,
+            max_level=args.max_level,
+            oracle=oracle,
+            bootstrap=args.bootstrap,
+            seed=args.seed,
+        )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_sensitivity(report, limit=args.limit))
     return 0
 
 
@@ -461,6 +568,53 @@ def build_parser() -> argparse.ArgumentParser:
         "every clause are ruled out",
     )
     enhance.set_defaults(handler=_cmd_enhance)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="amortized threshold sweep: MUP sets, Δτ diffs, and τ* "
+        "breakpoints for an entire τ range in one traversal, with "
+        "optional bootstrap stability",
+    )
+    sweep.add_argument("csv", help="path to an integer-coded CSV file")
+    sweep.add_argument(
+        "--attributes",
+        nargs="+",
+        help="attributes of interest (default: all columns)",
+    )
+    taus = sweep.add_mutually_exclusive_group(required=True)
+    taus.add_argument(
+        "--tau-range",
+        metavar="LO:HI[:STEP]",
+        help="inclusive τ range (also accepts a single τ or a comma list)",
+    )
+    taus.add_argument(
+        "--thresholds",
+        type=int,
+        nargs="+",
+        help="explicit τ settings",
+    )
+    sweep.add_argument(
+        "--bootstrap",
+        type=int,
+        default=0,
+        help="bootstrap replicates for MUP stability (default 0: skip)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0, help="bootstrap base seed"
+    )
+    sweep.add_argument(
+        "--max-level", type=int, default=None, help="level cap for the sweep"
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=25, help="breakpoint rows to print"
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the sensitivity report as JSON instead of tables",
+    )
+    _add_engine_options(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
 
     demo = commands.add_parser("demo", help="COMPAS walk-through on bundled data")
     demo.add_argument("--threshold", type=int, default=10)

@@ -16,7 +16,7 @@ the batched ``coverage_of_masks`` / ``coverage_many`` queries.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -128,10 +128,26 @@ class CoverageOracle:
         """Definition 2: number of tuples of ``D`` matching ``pattern``."""
         return self.coverage_of_mask(self.match_mask(pattern))
 
-    def coverage_many(self, patterns: Sequence[Pattern]) -> np.ndarray:
-        """Batched :meth:`coverage` — a whole pattern-graph level at once."""
-        self.evaluations += len(patterns)
-        return self._engine.coverage_many(patterns)
+    def coverage_many(
+        self,
+        patterns: Sequence[Pattern],
+        memo: Optional[Dict[Tuple[int, ...], int]] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`coverage` — a whole pattern-graph level at once.
+
+        With a ``memo`` (a ``pattern.values -> count`` reuse table, see
+        :meth:`CoverageEngine.coverage_many
+        <repro.core.engine.base.CoverageEngine.coverage_many>`), only the
+        patterns absent from the table count as evaluations — the sweep
+        engine relies on this to report true amortized work.
+        """
+        if memo is None:
+            self.evaluations += len(patterns)
+        else:
+            self.evaluations += sum(
+                1 for p in patterns if p.values not in memo
+            )
+        return self._engine.coverage_many(patterns, memo=memo)
 
     def is_covered(self, pattern: Pattern, threshold: int) -> bool:
         """Definition 3: ``cov(P) >= τ``."""

@@ -46,7 +46,17 @@ import threading
 import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Sequence, Tuple, Type, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 import numpy as np
 
@@ -331,11 +341,49 @@ class CoverageEngine(ABC):
         """Definition 2: number of tuples matching ``pattern``."""
         return self.count(self.match_mask(pattern))
 
-    def coverage_many(self, patterns: Sequence[Pattern]) -> np.ndarray:
-        """Coverage of many patterns, counted in one batched pass."""
+    def coverage_many(
+        self,
+        patterns: Sequence[Pattern],
+        memo: Optional[Dict[Tuple[int, ...], int]] = None,
+    ) -> np.ndarray:
+        """Coverage of many patterns, counted in one batched pass.
+
+        Args:
+            patterns: the frontier to count.
+            memo: optional count-reuse table mapping ``pattern.values`` to
+                a previously computed coverage count.  Patterns present in
+                it skip the index scan entirely and fresh counts are added
+                back, so callers that evaluate overlapping frontiers — the
+                amortized threshold sweep counts each pattern once for an
+                entire τ range, and attribute-subset projections share
+                their wildcarded patterns — pay for each distinct pattern
+                once per engine.  Coverage counts are a pure function of
+                the dataset, never of τ or the backend, which is what
+                makes the table safe to share across sweeps and (for one
+                dataset) across engines.
+        """
         if not patterns:
             return np.zeros(0, dtype=np.int64)
-        return self.count_many([self.match_mask(p) for p in patterns])
+        if memo is None:
+            return self.count_many([self.match_mask(p) for p in patterns])
+        out = np.empty(len(patterns), dtype=np.int64)
+        missing: List[Pattern] = []
+        positions: List[int] = []
+        for index, pattern in enumerate(patterns):
+            cached = memo.get(pattern.values)
+            if cached is None:
+                missing.append(pattern)
+                positions.append(index)
+            else:
+                out[index] = cached
+        if missing:
+            counts = self.count_many(
+                [self.match_mask(p) for p in missing]
+            )
+            for position, pattern, count in zip(positions, missing, counts):
+                out[position] = count
+                memo[pattern.values] = int(count)
+        return out
 
     # ------------------------------------------------------------------
     # rebuild support

@@ -94,8 +94,11 @@ PACKED_MAX_INDEX_BYTES = int(
 #: streams of single-pattern probes (DeepDiver's DFS: one mask op per
 #: node); ``"batch"`` — throughput-bound level sweeps (apriori / naive /
 #: pattern-breaker: whole frontiers per call), where a longer single scan
-#: amortizes over the batch and sharding's dispatch overhead hurts more.
-QUERY_SHAPES = ("point", "batch")
+#: amortizes over the batch and sharding's dispatch overhead hurts more;
+#: ``"sweep"`` — the amortized multi-threshold mode
+#: (:mod:`repro.analysis.sweep`), batch-heavy *and* further amortized
+#: because one counting pass classifies a pattern for every τ at once.
+QUERY_SHAPES = ("point", "batch", "sweep")
 
 #: Effective scan-throughput multiplier of the jit kernel tier over the
 #: numpy tier (conservative; bench_kernels.py measures >= 5x on the fused
@@ -108,20 +111,28 @@ JIT_SCAN_SPEEDUP = 4.0
 #: by the typical frontier amortization before sharding pays off.
 BATCH_LATENCY_TARGET_SECONDS = SINGLE_INDEX_TARGET_SECONDS * 4
 
+#: Latency target for one scan in the amortized threshold-sweep mode: on
+#: top of the batch amortization, each counted pattern is classified for
+#: the *entire* τ range, so a scan may take this much longer before the
+#: per-(pattern, τ) cost exceeds the point-shape budget.
+SWEEP_LATENCY_TARGET_SECONDS = BATCH_LATENCY_TARGET_SECONDS * 2
+
+_SHAPE_LATENCY_TARGETS = {
+    "point": SINGLE_INDEX_TARGET_SECONDS,
+    "batch": BATCH_LATENCY_TARGET_SECONDS,
+    "sweep": SWEEP_LATENCY_TARGET_SECONDS,
+}
+
 
 def _single_index_ceiling(query_shape: str, kernel_tier: str) -> int:
     """Largest packed index one flat scan may cover, per shape x tier.
 
     The point-shape / python-tier corner equals
     :data:`PACKED_MAX_INDEX_BYTES`, so the pre-shape escalation boundaries
-    are unchanged there; jit kernels and batch amortization each raise the
-    ceiling multiplicatively.
+    are unchanged there; jit kernels, batch amortization, and sweep
+    cross-threshold amortization each raise the ceiling multiplicatively.
     """
-    target = (
-        BATCH_LATENCY_TARGET_SECONDS
-        if query_shape == "batch"
-        else SINGLE_INDEX_TARGET_SECONDS
-    )
+    target = _SHAPE_LATENCY_TARGETS[query_shape]
     throughput = PACKED_SCAN_BYTES_PER_SECOND * (
         JIT_SCAN_SPEEDUP if kernel_tier == "jit" else 1.0
     )
@@ -580,18 +591,16 @@ def plan_engine(
     packed_bytes = stats.projected_packed_bytes
     compressed_bytes = stats.projected_compressed_bytes
     ceiling = _single_index_ceiling(stats.query_shape, stats.kernel_tier)
-    if stats.query_shape == "batch":
-        rationale.append(
-            f"batch-heavy query shape (level sweeps amortize scans) on "
-            f"{stats.kernel_tier} kernels -> single-index ceiling "
-            f"{_fmt_bytes(ceiling)}"
-        )
-    else:
-        rationale.append(
-            f"point-heavy query shape (latency-bound probes) on "
-            f"{stats.kernel_tier} kernels -> single-index ceiling "
-            f"{_fmt_bytes(ceiling)}"
-        )
+    shape_reasons = {
+        "point": "point-heavy query shape (latency-bound probes)",
+        "batch": "batch-heavy query shape (level sweeps amortize scans)",
+        "sweep": "sweep query shape (one counting pass classifies every τ)",
+    }
+    rationale.append(
+        f"{shape_reasons[stats.query_shape]} on "
+        f"{stats.kernel_tier} kernels -> single-index ceiling "
+        f"{_fmt_bytes(ceiling)}"
+    )
     forced_out_of_core = (
         requested.spill_dir is not None or requested.workers_mode == "process"
     )

@@ -72,6 +72,29 @@ def coverage_preserving_sample(
     return dataset.take(kept)
 
 
+def bootstrap_resample(dataset: Dataset, seed=0) -> Dataset:
+    """One bootstrap replicate: ``n`` rows drawn with replacement.
+
+    The coverage-sensitivity machinery (:mod:`repro.analysis.sweep`) reruns
+    MUP identification on replicates to measure how stable each MUP is
+    under resampling noise.  Indices are sorted so the replicate's row
+    order (and therefore its content fingerprint) is deterministic in the
+    seed; labels follow the selected rows.
+
+    Args:
+        dataset: the dataset to resample.
+        seed: anything :func:`numpy.random.default_rng` accepts — an int,
+            or a sequence like ``[base_seed, replicate_index]`` for
+            derived per-replicate streams.
+    """
+    if dataset.n == 0:
+        return dataset.take(np.arange(0))
+    rng = np.random.default_rng(seed)
+    chosen = rng.integers(0, dataset.n, size=dataset.n)
+    chosen.sort()
+    return dataset.take(chosen)
+
+
 def sample_size_required(dataset: Dataset, threshold: int) -> int:
     """Rows the quota-τ sample would keep: ``Σ min(count_c, τ)``."""
     if threshold < 1:

@@ -1,0 +1,341 @@
+"""Realistic synthetic scenario families for benchmarks and fuzzing.
+
+:func:`~repro.data.synthetic.random_categorical_dataset` draws every
+attribute independently with at most a geometric skew — useful for
+property tests, but real coverage workloads are nothing like it: value
+frequencies are zipfian (a few huge head values, a long sparse tail),
+columns are correlated (listing amenities, demographic attributes), and
+the interesting datasets are the ones with *specific known holes*.  This
+module generates those regimes deterministically:
+
+* :func:`zipfian_dataset` — per-attribute zipf value frequencies, the
+  sparse-categorical family whose tail combinations create realistic
+  uncovered regions;
+* :func:`zipfian_cardinalities` — schema shapes whose cardinalities are
+  themselves zipf-distributed (one wide column, many narrow ones);
+* :func:`correlated_dataset` — columns coupled through a latent factor,
+  generalizing :func:`~repro.data.synthetic.correlated_binary_dataset`
+  beyond binary attributes;
+* :func:`planted_mup_dataset` — a dataset *constructed* so that a chosen
+  set of patterns is guaranteed to appear in its MUP set at a chosen τ
+  (known ground truth for equivalence and sweep tests);
+* :func:`scenario_dataset` — one seeded dispatcher over the families, the
+  entry point the fuzz harness and benchmark matrices draw from.
+
+Everything is seeded and pure: the same arguments always produce the same
+rows, so hypothesis cases shrink and benchmark runs reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset, Schema
+from repro.exceptions import DataError
+
+#: Families :func:`scenario_dataset` dispatches over.
+SCENARIO_FAMILIES = ("uniform", "zipf", "correlated")
+
+#: Rejection-sampling budget per needed row in the planted construction.
+_PLANT_ATTEMPTS = 256
+
+
+def _schema_of(
+    cardinalities: Sequence[int], names: Optional[Sequence[str]]
+) -> Schema:
+    return Schema.of(
+        names
+        if names is not None
+        else [f"A{i + 1}" for i in range(len(cardinalities))],
+        cardinalities,
+    )
+
+
+def zipfian_cardinalities(
+    d: int, seed: int = 0, max_cardinality: int = 16
+) -> Tuple[int, ...]:
+    """A zipf-shaped schema: one wide attribute, a long tail of narrow ones.
+
+    Cardinalities are drawn as ``max(2, max_cardinality / rank)`` with the
+    rank order shuffled, so the wide column lands at a random position —
+    the shape real tabular schemas (one city/category column next to many
+    booleans) actually have.
+    """
+    if d < 1:
+        raise DataError(f"d must be >= 1, got {d}")
+    if max_cardinality < 2:
+        raise DataError(
+            f"max_cardinality must be >= 2, got {max_cardinality}"
+        )
+    rng = np.random.default_rng(seed)
+    ranks = rng.permutation(d) + 1
+    return tuple(max(2, int(round(max_cardinality / rank))) for rank in ranks)
+
+
+def zipfian_dataset(
+    n: int,
+    cardinalities: Sequence[int],
+    seed: int = 0,
+    exponent: float = 1.1,
+    names: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Sparse-categorical data: per-attribute zipf value frequencies.
+
+    Value ``v`` of an attribute with cardinality ``c`` is drawn with
+    probability ``∝ 1 / (v + 1)^exponent`` — a heavy head and a sparse
+    tail, so most of the mass sits on a few combinations while tail-value
+    conjunctions are rare or absent (the regime where MUPs live).
+
+    Args:
+        n: number of rows.
+        cardinalities: per-attribute cardinalities.
+        seed: RNG seed.
+        exponent: zipf exponent; larger concentrates more mass on the head
+            (0 degenerates to uniform).
+        names: optional attribute names.
+    """
+    if n < 0:
+        raise DataError(f"n must be non-negative, got {n}")
+    if exponent < 0:
+        raise DataError(f"exponent must be non-negative, got {exponent}")
+    rng = np.random.default_rng(seed)
+    columns = []
+    for cardinality in cardinalities:
+        weights = 1.0 / np.power(np.arange(1, cardinality + 1), exponent)
+        weights /= weights.sum()
+        columns.append(rng.choice(cardinality, size=n, p=weights))
+    rows = (
+        np.column_stack(columns).astype(np.int32)
+        if columns
+        else np.zeros((n, 0), dtype=np.int32)
+    )
+    return Dataset(_schema_of(cardinalities, names), rows)
+
+
+def correlated_dataset(
+    n: int,
+    cardinalities: Sequence[int],
+    seed: int = 0,
+    correlation: float = 0.5,
+    exponent: float = 1.1,
+    names: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Zipf-skewed columns coupled through a single latent factor.
+
+    Each row draws a latent ``z ~ U(0, 1)``; every attribute's value rank
+    is then a mixture ``(1 - correlation) * u_i + correlation * z`` pushed
+    through the attribute's zipf quantile map.  At ``correlation=1`` all
+    columns move together (rows live near a diagonal, leaving huge
+    uncovered off-diagonal regions); at ``0`` it reduces to
+    :func:`zipfian_dataset`.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise DataError(
+            f"correlation must be in [0, 1], got {correlation}"
+        )
+    if n < 0:
+        raise DataError(f"n must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    latent = rng.uniform(size=(n, 1))
+    noise = rng.uniform(size=(n, len(cardinalities)))
+    mixed = (1.0 - correlation) * noise + correlation * latent
+    columns = []
+    for j, cardinality in enumerate(cardinalities):
+        weights = 1.0 / np.power(
+            np.arange(1, cardinality + 1), exponent if exponent > 0 else 0.0
+        )
+        weights /= weights.sum()
+        # Quantile map: the latent mixture picks a position on the zipf
+        # CDF, so marginals stay zipf while ranks correlate across columns.
+        edges = np.cumsum(weights)
+        columns.append(
+            np.searchsorted(edges, mixed[:, j], side="right").clip(
+                0, cardinality - 1
+            )
+        )
+    rows = (
+        np.column_stack(columns).astype(np.int32)
+        if columns
+        else np.zeros((n, 0), dtype=np.int32)
+    )
+    return Dataset(_schema_of(cardinalities, names), rows)
+
+
+def _matches_any(row: np.ndarray, patterns: Sequence[Pattern]) -> bool:
+    return any(p.matches(row) for p in patterns)
+
+
+def _coverage_of(rows: np.ndarray, pattern: Pattern) -> int:
+    if not len(rows):
+        return 0
+    mask = np.ones(len(rows), dtype=bool)
+    for index in pattern.deterministic_indices():
+        mask &= rows[:, index] == pattern[index]
+    return int(mask.sum())
+
+
+def planted_mup_dataset(
+    cardinalities: Sequence[int],
+    planted: Sequence[Pattern],
+    threshold: int,
+    n: int = 200,
+    seed: int = 0,
+    exponent: float = 1.1,
+    names: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """A dataset whose MUP set at ``threshold`` provably contains ``planted``.
+
+    Construction: draw a zipfian base, delete every row matching a planted
+    pattern (their coverage drops to 0), then top every *parent* of every
+    planted pattern up to ``threshold`` with rows that match the parent but
+    no planted pattern.  Each planted pattern then has coverage 0 < τ with
+    every parent covered — by monotonicity every higher ancestor is covered
+    too — so it is exactly a MUP.  Other (incidental) MUPs may exist
+    elsewhere in the graph; the guarantee is containment, not equality.
+
+    Args:
+        cardinalities: per-attribute cardinalities.
+        planted: the patterns to plant as MUPs.  Each must specify at
+            least one value, only on attributes of cardinality ≥ 2 (a
+            cardinality-1 attribute forces ``cov(parent) = cov(pattern)``,
+            which makes planting impossible), and no planted pattern may
+            dominate another (the dominated one would have an uncovered
+            ancestor).
+        threshold: the τ at which the planted patterns are MUPs.
+        n: base-row count before deletion/top-up.
+        seed: RNG seed.
+        exponent: zipf exponent of the base draw.
+        names: optional attribute names.
+
+    Raises:
+        DataError: invalid planted set, or the planted patterns are so
+            dense that some parent has no completion avoiding all of them.
+    """
+    if threshold < 1:
+        raise DataError(f"threshold must be >= 1, got {threshold}")
+    cardinalities = tuple(int(c) for c in cardinalities)
+    d = len(cardinalities)
+    planted = [Pattern(p) if not isinstance(p, Pattern) else p for p in planted]
+    if not planted:
+        raise DataError("need at least one planted pattern")
+    for pattern in planted:
+        if len(pattern) != d:
+            raise DataError(
+                f"planted pattern {pattern} has {len(pattern)} elements "
+                f"for d={d}"
+            )
+        if pattern.level == 0:
+            raise DataError("cannot plant the root pattern as a MUP")
+        for index in pattern.deterministic_indices():
+            if cardinalities[index] < 2:
+                raise DataError(
+                    f"planted pattern {pattern} specifies attribute "
+                    f"{index} of cardinality 1; its parent could never be "
+                    f"covered without covering the pattern itself"
+                )
+            if not 0 <= pattern[index] < cardinalities[index]:
+                raise DataError(
+                    f"planted pattern {pattern} value {pattern[index]} out "
+                    f"of range for cardinality {cardinalities[index]}"
+                )
+    for first in planted:
+        for second in planted:
+            if first is not second and first.covers(second):
+                raise DataError(
+                    f"planted pattern {first} dominates {second}; the "
+                    f"dominated pattern could never be a MUP"
+                )
+
+    rng = np.random.default_rng(seed)
+    base = zipfian_dataset(
+        n, cardinalities, seed=int(rng.integers(2**31)), exponent=exponent
+    ).rows
+    kept = [row for row in base if not _matches_any(row, planted)]
+    rows = (
+        np.asarray(kept, dtype=np.int32)
+        if kept
+        else np.zeros((0, d), dtype=np.int32)
+    )
+
+    additions = []
+    for pattern in planted:
+        for parent in pattern.parents():
+            current = _coverage_of(rows, parent) + sum(
+                1 for row in additions if parent.matches(row)
+            )
+            while current < threshold:
+                row = _complete_parent(
+                    parent, planted, cardinalities, rng
+                )
+                additions.append(row)
+                current += 1
+    if additions:
+        rows = np.vstack([rows, np.asarray(additions, dtype=np.int32)])
+    return Dataset(_schema_of(cardinalities, names), rows)
+
+
+def _complete_parent(
+    parent: Pattern,
+    planted: Sequence[Pattern],
+    cardinalities: Tuple[int, ...],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One row matching ``parent`` but no planted pattern (rejection)."""
+    d = len(cardinalities)
+    for _ in range(_PLANT_ATTEMPTS):
+        row = np.empty(d, dtype=np.int32)
+        for index in range(d):
+            if parent.is_deterministic(index):
+                row[index] = parent[index]
+            else:
+                row[index] = rng.integers(cardinalities[index])
+        if not _matches_any(row, planted):
+            return row
+    raise DataError(
+        f"could not complete parent {parent} without matching a planted "
+        f"pattern after {_PLANT_ATTEMPTS} attempts; the planted set covers "
+        f"(nearly) every completion"
+    )
+
+
+def scenario_dataset(
+    family: str,
+    n: int,
+    cardinalities: Sequence[int],
+    seed: int = 0,
+    skew: float = 1.1,
+    correlation: float = 0.6,
+    names: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Seeded dispatcher over the scenario families.
+
+    ``family`` is one of :data:`SCENARIO_FAMILIES`: ``"uniform"`` (the
+    legacy uniform-random regime, kept so differential suites still cover
+    it), ``"zipf"`` (sparse skewed marginals), or ``"correlated"``
+    (zipf marginals coupled through a latent factor).  ``skew`` maps to
+    the zipf exponent where applicable.
+    """
+    if family == "uniform":
+        return zipfian_dataset(
+            n, cardinalities, seed=seed, exponent=0.0, names=names
+        )
+    if family == "zipf":
+        return zipfian_dataset(
+            n, cardinalities, seed=seed, exponent=skew, names=names
+        )
+    if family == "correlated":
+        return correlated_dataset(
+            n,
+            cardinalities,
+            seed=seed,
+            correlation=correlation,
+            exponent=skew,
+            names=names,
+        )
+    raise DataError(
+        f"unknown scenario family {family!r}; "
+        f"available: {SCENARIO_FAMILIES}"
+    )

@@ -177,6 +177,7 @@ class HttpServer:
             ("POST", "/datasets"): self._handle_register,
             ("POST", "/label"): self._handle_label,
             ("POST", "/identify"): self._handle_identify,
+            ("POST", "/sweep"): self._handle_sweep,
             ("POST", "/enhance"): self._handle_enhance,
             ("POST", "/deliver"): self._handle_deliver,
         }
@@ -225,6 +226,22 @@ class HttpServer:
             self._require(body, "dataset"),
             self._require(body, "threshold"),
             algorithm=body.get("algorithm", "deepdiver"),
+        )
+
+    async def _handle_sweep(self, body: Dict) -> Dict:
+        thresholds = body.get("thresholds", body.get("tau_range"))
+        if thresholds is None:
+            raise ServeError(
+                "bad_request",
+                "missing required field 'thresholds' (or 'tau_range')",
+            )
+        return await self.service.sweep(
+            self._require(body, "dataset"),
+            thresholds,
+            attributes=body.get("attributes"),
+            bootstrap=body.get("bootstrap", 0),
+            seed=body.get("seed", 0),
+            max_level=body.get("max_level"),
         )
 
     async def _handle_enhance(self, body: Dict) -> Dict:

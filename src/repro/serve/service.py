@@ -22,6 +22,12 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.sweep import (
+    SweepResult,
+    parse_tau_range,
+    sweep_mups,
+    threshold_sensitivity,
+)
 from repro.core.coverage import max_covered_level
 from repro.core.enhancement.expansion import uncovered_at_level
 from repro.core.enhancement.greedy import greedy_cover
@@ -311,6 +317,160 @@ class CoverageService:
             "combinations": [list(map(int, combo)) for combo in plan.combinations],
             "unhittable": [_pattern_values(p) for p in plan.unhittable],
         }
+
+    # ------------------------------------------------------------------
+    # threshold sweeps
+    # ------------------------------------------------------------------
+    async def sweep(
+        self,
+        dataset_key: str,
+        thresholds: Any,
+        attributes: Optional[Sequence[Any]] = None,
+        bootstrap: Any = 0,
+        seed: Any = 0,
+        max_level: Optional[Any] = None,
+    ) -> Dict:
+        """Amortized τ-range sweep with the sensitivity report.
+
+        One traversal classifies every queried τ; results are memoized in
+        the result cache under a key that embeds the snapshot's *content
+        fingerprint* (plus the τ range, the attribute projection, and the
+        bootstrap settings) — never the mutable dataset alias — so a
+        delivery both makes stale sweeps unreachable and lets
+        :meth:`deliver`'s ``invalidate(old_fingerprint)`` reclaim them.
+        """
+        snapshot = self._snapshot(dataset_key)
+        taus = self._parse_thresholds(thresholds)
+        attrs = self._parse_attributes(attributes, snapshot.dataset)
+        try:
+            bootstrap = int(bootstrap)
+            seed = int(seed)
+            max_level = None if max_level is None else int(max_level)
+        except (TypeError, ValueError):
+            raise ServeError(
+                "bad_request",
+                "bootstrap, seed, and max_level must be integers",
+            )
+        if bootstrap < 0:
+            raise ServeError(
+                "bad_request", f"bootstrap must be >= 0, got {bootstrap}"
+            )
+        key = (
+            "sweep",
+            snapshot.fingerprint,
+            taus,
+            attrs,
+            max_level,
+            bootstrap,
+            seed,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        loop = asyncio.get_running_loop()
+        async with self.admission.heavy():
+            body = await loop.run_in_executor(
+                None,
+                lambda: self._run_sweep(
+                    snapshot, taus, attrs, max_level, bootstrap, seed
+                ),
+            )
+        body.update(dataset=dataset_key, fingerprint=snapshot.fingerprint)
+        self.cache.put(key, dict(body))
+        return body
+
+    def _parse_thresholds(self, thresholds: Any) -> tuple:
+        try:
+            if isinstance(thresholds, str):
+                return parse_tau_range(thresholds)
+            if isinstance(thresholds, int):
+                return (self._check_identify_args(thresholds, "deepdiver"),)
+            if isinstance(thresholds, (list, tuple)) and thresholds:
+                return tuple(
+                    sorted({int(t) for t in thresholds})
+                )
+        except ReproError as error:
+            raise ServeError("bad_request", str(error)) from error
+        except (TypeError, ValueError):
+            pass
+        raise ServeError(
+            "bad_request",
+            f"thresholds must be a non-empty integer list or a "
+            f"'lo:hi[:step]' range string, got {thresholds!r}",
+        )
+
+    def _parse_attributes(
+        self, attributes: Optional[Sequence[Any]], dataset: Dataset
+    ) -> Optional[tuple]:
+        if attributes is None:
+            return None
+        if not isinstance(attributes, (list, tuple)) or not attributes:
+            raise ServeError(
+                "bad_request", "attributes must be a non-empty list"
+            )
+        indices = []
+        for item in attributes:
+            if isinstance(item, str):
+                try:
+                    indices.append(dataset.schema.index_of(item))
+                except ReproError as error:
+                    raise ServeError("bad_request", str(error)) from error
+            else:
+                try:
+                    index = int(item)
+                except (TypeError, ValueError):
+                    raise ServeError(
+                        "bad_request",
+                        f"attribute {item!r} is neither a name nor an index",
+                    )
+                if not 0 <= index < dataset.d:
+                    raise ServeError(
+                        "bad_request",
+                        f"attribute index {index} out of range for "
+                        f"d={dataset.d}",
+                    )
+                indices.append(index)
+        return tuple(sorted(set(indices)))
+
+    def _run_sweep(
+        self,
+        snapshot: Snapshot,
+        thresholds: tuple,
+        attributes: Optional[tuple],
+        max_level: Optional[int],
+        bootstrap: int,
+        seed: int,
+    ) -> Dict:
+        try:
+            result: SweepResult = sweep_mups(
+                snapshot.dataset,
+                thresholds,
+                attributes=attributes,
+                max_level=max_level,
+                oracle=snapshot.oracle,
+            )
+            report = threshold_sensitivity(
+                snapshot.dataset,
+                thresholds,
+                attributes=attributes,
+                max_level=max_level,
+                bootstrap=bootstrap,
+                seed=seed,
+                sweep=result,
+            )
+        except ReproError as error:
+            raise ServeError("bad_request", str(error)) from error
+        body = report.as_dict()
+        body["mups"] = {
+            str(tau): [str(p) for p in result.mups_at(tau).mups]
+            for tau in result.thresholds
+        }
+        body["attributes"] = (
+            None if attributes is None else list(attributes)
+        )
+        body["max_level"] = max_level
+        body["evaluations"] = int(result.stats.coverage_evaluations)
+        return body
 
     # ------------------------------------------------------------------
     # deliveries

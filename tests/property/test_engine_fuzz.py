@@ -2,8 +2,11 @@
 
 The cross-engine equivalence suite checks each query family in isolation;
 this harness checks the *interleavings*.  Hypothesis generates a random
-dataset plus a random sequence of ``coverage`` / ``coverage_many`` /
-``coverage_of_masks`` / ``restrict_children`` / cache-churn /
+dataset — half the time uniform-random rows, half the time a realistic
+:mod:`repro.data.scenarios` draw (zipf marginals, latent-factor
+correlation) — plus a random sequence of ``coverage`` / ``coverage_many``
+(with and without the sweep's count-reuse memo) / ``coverage_of_masks`` /
+``restrict_children`` / cache-churn /
 ``template()``-rebuild calls, and executes the sequence in lockstep on the
 ``dense`` reference and every other backend — ``packed``, ``sharded``,
 the out-of-core sharded engine (one-shard resident budget), whatever the
@@ -43,6 +46,7 @@ from repro.core.engine import (
 )
 from repro.core.pattern import Pattern, X
 from repro.data.dataset import Dataset, Schema
+from repro.data.scenarios import SCENARIO_FAMILIES, scenario_dataset
 
 CORPUS_PATH = Path(__file__).parent / "engine_fuzz_corpus.json"
 
@@ -75,16 +79,48 @@ def _patterns(draw, cardinalities):
 
 
 @st.composite
+def scenario_rows(draw, cardinalities):
+    """Rows from a realistic scenario family (zipf tails, correlation).
+
+    Uniform-random rows rarely produce the skewed marginals and coupled
+    columns real coverage workloads have; drawing whole datasets from
+    :mod:`repro.data.scenarios` points the fuzzer at those regimes.  The
+    draw is reduced to ``(family, n, seed, ...)`` so hypothesis can still
+    shrink it.
+    """
+    family = draw(st.sampled_from(SCENARIO_FAMILIES))
+    n = draw(st.integers(min_value=0, max_value=32))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    skew = draw(st.sampled_from([0.5, 1.1, 2.5]))
+    correlation = draw(st.sampled_from([0.0, 0.6, 1.0]))
+    dataset = scenario_dataset(
+        family,
+        n,
+        cardinalities,
+        seed=seed,
+        skew=skew,
+        correlation=correlation,
+    )
+    return dataset.rows.tolist()
+
+
+@st.composite
 def fuzz_cases(draw):
     d = draw(st.integers(min_value=1, max_value=4))
     cardinalities = draw(
         st.lists(st.integers(min_value=1, max_value=6), min_size=d, max_size=d)
     )
-    n = draw(st.integers(min_value=0, max_value=32))
-    rows = [
-        [draw(st.integers(min_value=0, max_value=c - 1)) for c in cardinalities]
-        for _ in range(n)
-    ]
+    if draw(st.booleans()):
+        rows = draw(scenario_rows(cardinalities))
+    else:
+        n = draw(st.integers(min_value=0, max_value=32))
+        rows = [
+            [
+                draw(st.integers(min_value=0, max_value=c - 1))
+                for c in cardinalities
+            ]
+            for _ in range(n)
+        ]
     mask_cache_size = draw(st.sampled_from([0, 2, 64]))
     array_cutoff = draw(st.sampled_from([None, 1, 4, 4096]))
     run_cutoff = draw(st.sampled_from([None, 1, 2, 1024]))
@@ -92,12 +128,12 @@ def fuzz_cases(draw):
     for _ in range(draw(st.integers(min_value=1, max_value=8))):
         kind = draw(
             st.sampled_from(
-                ["point", "many", "masks", "children", "churn", "rebuild"]
+                ["point", "many", "masks", "memo", "children", "churn", "rebuild"]
             )
         )
         if kind == "point":
             ops.append(("point", draw(_patterns(cardinalities))))
-        elif kind in ("many", "masks"):
+        elif kind in ("many", "masks", "memo"):
             batch = [
                 draw(_patterns(cardinalities))
                 for _ in range(draw(st.integers(min_value=0, max_value=4)))
@@ -184,6 +220,25 @@ def _apply_op(op, dataset, engines, oracles):
         expected = list(oracles["dense"].coverage_many(batch))
         for name in BACKENDS[1:]:
             assert list(oracles[name].coverage_many(batch)) == expected, name
+    elif kind == "memo":
+        # The count-reuse table the amortized threshold sweep rides: a
+        # second pass over the same batch must answer from the memo alone
+        # (no new oracle evaluations) with bit-identical counts, and the
+        # memoized counts must agree across every backend.
+        batch = op[1]
+        results = {}
+        for name in BACKENDS:
+            oracle = oracles[name]
+            memo = {}
+            first = list(oracle.coverage_many(batch, memo=memo))
+            before = oracle.evaluations
+            second = list(oracle.coverage_many(batch, memo=memo))
+            assert second == first, name
+            assert oracle.evaluations == before, name
+            assert set(memo) == {p.values for p in batch}, name
+            results[name] = first
+        for name in BACKENDS[1:]:
+            assert results[name] == results["dense"], name
     elif kind == "masks":
         batch = op[1]
         reference = oracles["dense"]
@@ -285,7 +340,7 @@ def _parse_op(entry):
     kind = entry[0]
     if kind == "point":
         return ("point", _parse_pattern(entry[1]))
-    if kind in ("many", "masks"):
+    if kind in ("many", "masks", "memo"):
         return (kind, [_parse_pattern(values) for values in entry[1]])
     if kind == "children":
         return ("children", _parse_pattern(entry[1]), int(entry[2]))

@@ -89,6 +89,72 @@ class TestEnhance:
         assert code == 2
 
 
+class TestSweep:
+    def test_sweep_tau_range_prints_tables(self, csv_file, capsys):
+        code = main(["sweep", csv_file, "--tau-range", "2:8:2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold sweep over τ ∈ [2, 8]" in out
+        assert "appeared" in out and "disappears above" in out
+
+    def test_sweep_explicit_thresholds_with_bootstrap(self, csv_file, capsys):
+        code = main(
+            [
+                "sweep", csv_file,
+                "--thresholds", "3", "6",
+                "--bootstrap", "2",
+                "--seed", "9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bootstrap support over 2 replicates (seed 9)" in out
+        assert "mean support" in out
+
+    def test_sweep_json_matches_library(self, csv_file, capsys):
+        import json as json_module
+
+        from repro.analysis.sweep import threshold_sensitivity
+        from repro.cli import _load_csv
+
+        code = main(["sweep", csv_file, "--tau-range", "2:5", "--json"])
+        assert code == 0
+        body = json_module.loads(capsys.readouterr().out)
+        expected = threshold_sensitivity(
+            _load_csv(csv_file, None), [2, 3, 4, 5]
+        ).as_dict()
+        assert body == expected
+
+    def test_sweep_counts_match_identify(self, csv_file, capsys):
+        """Amortized CLI counts agree with per-τ identify runs."""
+        import json as json_module
+
+        assert main(["sweep", csv_file, "--tau-range", "4:6", "--json"]) == 0
+        counts = json_module.loads(capsys.readouterr().out)["counts"]
+        for tau in (4, 5, 6):
+            assert main(["identify", csv_file, "--threshold", str(tau)]) == 0
+            out = capsys.readouterr().out
+            expected = counts[str(tau)]
+            assert f"{expected} maximal uncovered pattern(s) at τ={tau}" in out
+
+    def test_sweep_explain_plan_uses_sweep_shape(self, csv_file, capsys):
+        code = main(
+            ["sweep", csv_file, "--tau-range", "2:4", "--explain-plan"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query shape 'sweep'" in out
+
+    def test_sweep_requires_some_thresholds(self, csv_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", csv_file])
+
+    def test_sweep_bad_range_returns_2(self, csv_file, capsys):
+        code = main(["sweep", csv_file, "--tau-range", "9:1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_runs_on_bundled_compas(self, capsys):
         code = main(["demo", "--threshold", "10", "--limit", "5"])

@@ -1,0 +1,121 @@
+"""Unit tests for the realistic synthetic scenario families."""
+
+import numpy as np
+import pytest
+
+from repro.core.mups import find_mups
+from repro.core.pattern import Pattern, X
+from repro.data.scenarios import (
+    SCENARIO_FAMILIES,
+    correlated_dataset,
+    planted_mup_dataset,
+    scenario_dataset,
+    zipfian_cardinalities,
+    zipfian_dataset,
+)
+from repro.exceptions import DataError
+
+
+def test_zipfian_cardinalities_shape():
+    cards = zipfian_cardinalities(6, seed=3, max_cardinality=12)
+    assert len(cards) == 6
+    assert all(c >= 2 for c in cards)
+    assert max(cards) == 12
+    assert cards == zipfian_cardinalities(6, seed=3, max_cardinality=12)
+    assert cards != zipfian_cardinalities(6, seed=4, max_cardinality=12)
+
+
+def test_zipfian_cardinalities_rejects():
+    with pytest.raises(DataError):
+        zipfian_cardinalities(0)
+    with pytest.raises(DataError):
+        zipfian_cardinalities(3, max_cardinality=1)
+
+
+def test_zipfian_dataset_deterministic_and_skewed():
+    a = zipfian_dataset(500, (8, 3), seed=5, exponent=1.5)
+    b = zipfian_dataset(500, (8, 3), seed=5, exponent=1.5)
+    assert (a.rows == b.rows).all()
+    assert a.n == 500 and a.d == 2
+    # Head value of the wide attribute carries more mass than the tail.
+    counts = np.bincount(a.rows[:, 0], minlength=8)
+    assert counts[0] > counts[-1]
+    # exponent=0 degenerates to (roughly) uniform: tail still populated.
+    flat = zipfian_dataset(500, (8, 3), seed=5, exponent=0.0)
+    assert np.bincount(flat.rows[:, 0], minlength=8).min() > 0
+
+
+def test_zipfian_dataset_rejects():
+    with pytest.raises(DataError):
+        zipfian_dataset(-1, (2,))
+    with pytest.raises(DataError):
+        zipfian_dataset(5, (2,), exponent=-0.5)
+
+
+def test_correlated_dataset_couples_columns():
+    strong = correlated_dataset(800, (5, 5), seed=2, correlation=1.0)
+    weak = correlated_dataset(800, (5, 5), seed=2, correlation=0.0)
+
+    def corr(ds):
+        return abs(float(np.corrcoef(ds.rows[:, 0], ds.rows[:, 1])[0, 1]))
+
+    assert corr(strong) > corr(weak)
+    assert corr(strong) > 0.8
+
+
+def test_correlated_dataset_rejects():
+    with pytest.raises(DataError):
+        correlated_dataset(10, (2, 2), correlation=1.5)
+    with pytest.raises(DataError):
+        correlated_dataset(-1, (2, 2))
+
+
+def test_planted_mups_are_exact_mups():
+    planted = [Pattern.of(0, X, 1), Pattern.of(X, 3, X)]
+    dataset = planted_mup_dataset((2, 4, 3), planted, threshold=4, seed=1)
+    result = find_mups(dataset, threshold=4)
+    for pattern in planted:
+        assert pattern in result
+
+
+def test_planted_validation():
+    with pytest.raises(DataError):  # no patterns
+        planted_mup_dataset((2, 2), [], threshold=1)
+    with pytest.raises(DataError):  # root
+        planted_mup_dataset((2, 2), [Pattern.root(2)], threshold=1)
+    with pytest.raises(DataError):  # wrong width
+        planted_mup_dataset((2, 2), [Pattern.of(1)], threshold=1)
+    with pytest.raises(DataError):  # cardinality-1 attribute
+        planted_mup_dataset((1, 2), [Pattern.of(0, X)], threshold=1)
+    with pytest.raises(DataError):  # value out of range
+        planted_mup_dataset((2, 2), [Pattern.of(5, X)], threshold=1)
+    with pytest.raises(DataError):  # dominance between planted patterns
+        planted_mup_dataset(
+            (2, 2), [Pattern.of(1, X), Pattern.of(1, 0)], threshold=1
+        )
+    with pytest.raises(DataError):  # threshold
+        planted_mup_dataset((2, 2), [Pattern.of(1, X)], threshold=0)
+
+
+def test_planted_impossible_completion():
+    # Both values of the second attribute are planted: no row can match
+    # the first attribute's parent without hitting a planted pattern.
+    with pytest.raises(DataError):
+        planted_mup_dataset(
+            (2, 2), [Pattern.of(X, 0), Pattern.of(X, 1)], threshold=2, n=0
+        )
+
+
+def test_scenario_dispatcher():
+    for family in SCENARIO_FAMILIES:
+        ds = scenario_dataset(family, 40, (3, 2), seed=6)
+        again = scenario_dataset(family, 40, (3, 2), seed=6)
+        assert ds.n == 40 and ds.d == 2
+        assert (ds.rows == again.rows).all()
+    with pytest.raises(DataError):
+        scenario_dataset("nope", 10, (2, 2))
+
+
+def test_scenario_names_forwarded():
+    ds = scenario_dataset("zipf", 10, (2, 2), names=["left", "right"])
+    assert ds.schema.names == ("left", "right")

@@ -13,6 +13,7 @@ import threading
 
 import pytest
 
+from repro.analysis.sweep import sweep_mups, threshold_sensitivity
 from repro.core.coverage import CoverageOracle
 from repro.core.engine import EngineConfig
 from repro.core.mups import find_mups
@@ -522,6 +523,179 @@ class TestService:
         assert stats["batcher"]["requests"] == 1
         assert stats["config"]["engine"]["backend"] == "auto"
         assert "admission" in stats and "result_cache" in stats
+
+
+# ----------------------------------------------------------------------
+# threshold sweeps
+# ----------------------------------------------------------------------
+class TestSweepEndpoint:
+    def test_sweep_matches_library(self):
+        dataset = make_random_dataset(31, n=90)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            return await service.sweep(key, [2, 4, 7], bootstrap=2, seed=5)
+
+        body = run_service(service_config(), scenario)
+        reference = sweep_mups(dataset, [2, 4, 7])
+        for tau in (2, 4, 7):
+            assert body["counts"][str(tau)] == len(reference.mups_at(tau))
+            assert body["mups"][str(tau)] == [
+                str(p) for p in reference.mups_at(tau).mups
+            ]
+        report = threshold_sensitivity(
+            dataset, [2, 4, 7], bootstrap=2, seed=5
+        )
+        expected = report.as_dict()
+        for field in ("appeared", "disappeared", "transitions", "support"):
+            assert body[field] == expected[field]
+
+    def test_sweep_accepts_range_string_and_attribute_names(self):
+        dataset = make_random_dataset(33, n=60)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            ranged = await service.sweep(key, "2:6:2")
+            named = await service.sweep(key, [2], attributes=["A1", "A3"])
+            return ranged, named
+
+        ranged, named = run_service(service_config(), scenario)
+        assert ranged["thresholds"] == [2, 4, 6]
+        assert named["attributes"] == [0, 2]
+        reference = sweep_mups(dataset, [2], attributes=[0, 2])
+        assert named["mups"]["2"] == [
+            str(p) for p in reference.mups_at(2).mups
+        ]
+
+    def test_sweep_bad_inputs(self, example1_dataset):
+        async def scenario(service):
+            key = await register(service, example1_dataset)
+            errors = {}
+            for name, call in {
+                "empty": service.sweep(key, []),
+                "zero": service.sweep(key, [0]),
+                "range": service.sweep(key, "9:1"),
+                "attr": service.sweep(key, [2], attributes=["nope"]),
+                "attr_idx": service.sweep(key, [2], attributes=[9]),
+                "boot": service.sweep(key, [2], bootstrap=-1),
+            }.items():
+                try:
+                    await call
+                except ServeError as error:
+                    errors[name] = error.code
+            return errors
+
+        errors = run_service(service_config(), scenario)
+        assert set(errors) == {
+            "empty", "zero", "range", "attr", "attr_idx", "boot"
+        }
+        assert set(errors.values()) == {"bad_request"}
+
+    def test_delivery_invalidates_sweep_results(self):
+        """Regression: sweep results must key on the snapshot's *content
+        fingerprint*, not the mutable dataset alias.  The alias IS the
+        registration-time fingerprint, so the first delivery's
+        ``invalidate(old_fingerprint)`` would scrub an alias-keyed entry
+        by coincidence — the bug only shows from the second delivery on,
+        when the retiring fingerprint no longer equals the alias.  Hence:
+        sweep, deliver, sweep, deliver, sweep."""
+        import numpy as np
+
+        dataset = make_random_dataset(37, n=80)
+        new_rows = [dataset.rows[0].tolist()] * 5
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            gen0 = await service.sweep(key, [2, 5])
+            cached = await service.sweep(key, [2, 5])
+            await service.deliver(key, new_rows, threshold=2)
+            gen1 = await service.sweep(key, [2, 5])
+            await service.deliver(key, new_rows, threshold=2)
+            gen2 = await service.sweep(key, [2, 5])
+            return gen0, cached, gen1, gen2, service.cache.info()
+
+        gen0, cached, gen1, gen2, cache_info = run_service(
+            service_config(), scenario
+        )
+        assert cached == gen0  # pre-delivery repeat rides the cache
+        assert cache_info["hits"] >= 1
+        fingerprints = {g["fingerprint"] for g in (gen0, gen1, gen2)}
+        assert len(fingerprints) == 3
+        for generation, body in enumerate((gen0, gen1, gen2)):
+            appended = Dataset(
+                dataset.schema,
+                np.vstack(
+                    [dataset.rows] + [new_rows] * generation
+                ).astype(np.int32),
+            )
+            reference = sweep_mups(appended, [2, 5])
+            for tau in (2, 5):
+                assert body["mups"][str(tau)] == [
+                    str(p) for p in reference.mups_at(tau).mups
+                ], (generation, tau)
+
+    def test_threaded_sweeps_during_deliveries_stay_consistent(self):
+        """Concurrent /sweep traffic while deliveries land: every response
+        must pair its fingerprint with that generation's MUP counts (a
+        stale alias-keyed cache entry would pair an old body with a live
+        generation)."""
+        import numpy as np
+
+        dataset = make_random_dataset(41, n=70)
+        new_row = dataset.rows[0].tolist()
+        deliveries = 3
+        responses = []
+        failures = []
+        with BackgroundServer(service_config()) as server:
+            _, reg = http_call(
+                server, "POST", "/datasets", {"rows": dataset.rows.tolist()}
+            )
+            key = reg["dataset"]
+
+            def sweeper():
+                for _ in range(8):
+                    status, body = http_call(
+                        server, "POST", "/sweep",
+                        {"dataset": key, "tau_range": "2:4"},
+                    )
+                    if status != 200:
+                        failures.append((status, body))
+                    else:
+                        responses.append(body)
+
+            def deliverer():
+                for _ in range(deliveries):
+                    status, body = http_call(
+                        server, "POST", "/deliver",
+                        {"dataset": key, "rows": [new_row]},
+                    )
+                    if status != 200:
+                        failures.append((status, body))
+
+            threads = [threading.Thread(target=sweeper) for _ in range(3)]
+            threads.append(threading.Thread(target=deliverer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not failures
+        # Ground truth per generation: base rows plus k delivered copies.
+        expected = {}
+        for k in range(deliveries + 1):
+            generation = Dataset(
+                dataset.schema,
+                np.vstack([dataset.rows] + [[new_row]] * k).astype(np.int32)
+                if k
+                else dataset.rows,
+            )
+            reference = sweep_mups(generation, [2, 3, 4])
+            expected[generation.content_fingerprint()] = {
+                str(tau): [str(p) for p in reference.mups_at(tau).mups]
+                for tau in (2, 3, 4)
+            }
+        for body in responses:
+            assert body["fingerprint"] in expected, body["fingerprint"]
+            assert body["mups"] == expected[body["fingerprint"]]
 
 
 # ----------------------------------------------------------------------
