@@ -8,6 +8,7 @@ Subcommands:
 * ``sweep`` — amortized threshold sweep with a MUP sensitivity report.
 * ``demo`` — run the COMPAS walk-through on the bundled simulator.
 * ``serve`` — run the persistent HTTP/JSON coverage service.
+* ``worker`` — run a standalone shard worker for socket fan-out.
 
 CSV files are expected to contain integer-coded categorical columns; use
 ``--attributes`` to select the attributes of interest.
@@ -19,6 +20,7 @@ import argparse
 import asyncio
 import csv
 import json
+import os
 import sys
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence
@@ -145,7 +147,26 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         f"{DEFAULT_WORKERS_MODE}): 'thread' works in every mode; 'process' "
         "attaches child processes to the spill files by path (requires "
         "--spill-dir with --engine sharded; falls back to threads without "
-        "fork support)",
+        "fork support); 'socket' places shards on long-lived worker "
+        "processes over the socket protocol — spawn-local by default, or "
+        "the --worker-endpoints hosts (requires --spill-dir with "
+        "--engine sharded)",
+    )
+    parser.add_argument(
+        "--worker-endpoints",
+        nargs="+",
+        metavar="HOST:PORT",
+        default=None,
+        help="standing `repro-coverage worker` addresses for "
+        "--workers-mode socket (default: spawn --workers local workers)",
+    )
+    parser.add_argument(
+        "--delta-spill",
+        action="store_true",
+        default=None,
+        help="let rebuilds over appended data reuse the spill directory "
+        "via delta writes: unchanged shards are hard-linked, only dirty "
+        "shards re-serialize (requires --spill-dir with --engine sharded)",
     )
     parser.add_argument(
         "--spill-dir",
@@ -494,8 +515,9 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
         action="append",
         metavar="CSV",
         default=None,
-        help="register this integer-coded CSV at startup (repeatable); "
-        "the dataset key is printed before serving begins",
+        help="register this integer-coded CSV — or an existing spill "
+        "directory, attached warm instead of rebuilt — at startup "
+        "(repeatable); the dataset key is printed before serving begins",
     )
     _add_engine_options(parser)
 
@@ -514,10 +536,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = HttpServer(service)
         try:
             for path in args.preload or []:
-                dataset = _load_csv(path, None)
-                report = await service.register_dataset(
-                    dataset.rows.tolist(), names=list(dataset.schema.names)
-                )
+                if os.path.isdir(path):
+                    # A finished spill directory: attach the existing shard
+                    # files (manifest-validated) instead of rebuilding.
+                    report = await service.register_spill(path)
+                else:
+                    dataset = _load_csv(path, None)
+                    report = await service.register_dataset(
+                        dataset.rows.tolist(), names=list(dataset.schema.names)
+                    )
                 print(
                     f"preloaded {path}: dataset={report['dataset']} "
                     f"backend={report['backend']} rows={report['rows']}",
@@ -536,6 +563,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    # Imported here so the worker process stays lean and the other
+    # subcommands never pay for the socket stack.
+    from repro.core.engine.distributed import serve_worker
+
+    try:
+        serve_worker(args.host, args.port)
+    except KeyboardInterrupt:
+        print("repro worker: shutting down", file=sys.stderr)
     return 0
 
 
@@ -630,6 +669,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serve_options(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    worker = commands.add_parser(
+        "worker",
+        help="run a standalone shard worker: serves per-shard coverage "
+        "kernels over the length-prefixed socket protocol for "
+        "coordinators started with --workers-mode socket "
+        "--worker-endpoints HOST:PORT (prints `listening on host:port` "
+        "once bound)",
+    )
+    worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to accept "
+        "coordinators from other hosts)",
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: kernel-assigned, printed at startup)",
+    )
+    worker.set_defaults(handler=_cmd_worker)
 
     return parser
 

@@ -30,7 +30,21 @@ from repro.core.engine.compressed import (
     CompressedEngine,
 )
 from repro.core.engine.dense import DenseBoolEngine
-from repro.core.engine.mmapped import MmapShardStore, ShardStoreWriter
+from repro.core.engine.distributed import (
+    PROTOCOL_VERSION,
+    DistributedPool,
+    WorkerDied,
+    serve_worker,
+)
+from repro.core.engine.mmapped import (
+    MANIFEST_FORMAT,
+    MANIFEST_FORMAT_V1,
+    DeltaWriteResult,
+    MmapShardStore,
+    ShardStoreWriter,
+    load_spill_dataset,
+    shard_slice_fingerprint,
+)
 from repro.core.engine.packed import PackedBitsetEngine
 from repro.core.engine.sharded import (
     DEFAULT_SHARDS,
@@ -70,6 +84,15 @@ __all__ = [
     "DEFAULT_RUN_CUTOFF",
     "MmapShardStore",
     "ShardStoreWriter",
+    "DeltaWriteResult",
+    "load_spill_dataset",
+    "shard_slice_fingerprint",
+    "MANIFEST_FORMAT",
+    "MANIFEST_FORMAT_V1",
+    "DistributedPool",
+    "WorkerDied",
+    "serve_worker",
+    "PROTOCOL_VERSION",
     "EngineConfig",
     "EnginePlan",
     "WorkloadStats",

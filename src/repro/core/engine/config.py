@@ -33,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.engine.base import DEFAULT_ENGINE, ENGINES, CoverageEngine
 from repro.core.engine.compressed import CHUNK_BITS
@@ -56,6 +56,8 @@ _SHARDED_ONLY = (
     "workers_mode",
     "spill_dir",
     "max_resident_bytes",
+    "worker_endpoints",
+    "delta_spill",
 )
 
 #: Options that only the compressed backend (or the auto planner) consumes.
@@ -71,7 +73,8 @@ class EngineConfig:
             workload-aware planner choose one.
         shards: shard count (sharded backend; planner hint under auto).
         workers: worker-pool size for shard fan-out.
-        workers_mode: ``"thread"`` / ``"process"`` shard fan-out pool.
+        workers_mode: ``"thread"`` / ``"process"`` / ``"socket"`` shard
+            fan-out pool.
         spill_dir: out-of-core spill root (forces the out-of-core mode).
         max_resident_bytes: resident byte budget.  With ``backend="sharded"``
             this is the mmap loader's LRU budget and requires ``spill_dir``;
@@ -90,6 +93,11 @@ class EngineConfig:
             kept as a sorted ``uint16`` array (1..65536).
         run_cutoff: compressed backend — largest interval count kept as a
             run container (>= 1).
+        worker_endpoints: ``host:port`` addresses of standing shard
+            workers (``workers_mode="socket"`` only); unset, socket mode
+            spawns local workers.
+        delta_spill: let rebuilds over appended data reuse the previous
+            spill directory via delta writes (out-of-core only).
 
     Every field except ``backend`` defaults to ``None`` (= "backend
     default"); construction validates the combination and raises
@@ -106,6 +114,8 @@ class EngineConfig:
     array_cutoff: Optional[int] = None
     run_cutoff: Optional[int] = None
     kernel_tier: Optional[str] = None
+    worker_endpoints: Optional[Tuple[str, ...]] = None
+    delta_spill: Optional[bool] = None
 
     def __post_init__(self) -> None:
         # Normalize numerics up front so equality / round-trips are exact.
@@ -122,6 +132,14 @@ class EngineConfig:
                 object.__setattr__(self, name, int(value))
         if self.spill_dir is not None:
             object.__setattr__(self, "spill_dir", os.fspath(self.spill_dir))
+        if self.worker_endpoints is not None:
+            object.__setattr__(
+                self,
+                "worker_endpoints",
+                tuple(str(endpoint) for endpoint in self.worker_endpoints),
+            )
+        if self.delta_spill is not None:
+            object.__setattr__(self, "delta_spill", bool(self.delta_spill))
         self.validate()
 
     # ------------------------------------------------------------------
@@ -230,6 +248,53 @@ class EngineConfig:
                     "(pass spill_dir= / --spill-dir): children attach to the "
                     "shard files by path"
                 )
+        if self.worker_endpoints is not None:
+            if not self.worker_endpoints:
+                raise EngineError(
+                    "worker_endpoints must list at least one host:port "
+                    "address (or be unset for spawn-local workers)"
+                )
+            malformed = [
+                endpoint
+                for endpoint in self.worker_endpoints
+                if ":" not in endpoint.strip() or not endpoint.strip()
+            ]
+            if malformed:
+                raise EngineError(
+                    f"worker_endpoints entries must be host:port, "
+                    f"got {malformed}"
+                )
+            if self.workers_mode != "socket":
+                raise EngineError(
+                    "worker_endpoints requires workers_mode='socket' "
+                    "(--workers-mode socket): only the socket pool talks "
+                    "to remote workers"
+                )
+        if self.workers_mode == "socket":
+            if self.worker_endpoints is None and (
+                self.workers is None or self.workers < 2
+            ):
+                raise EngineError(
+                    "workers_mode='socket' without worker_endpoints spawns "
+                    "local workers and requires workers >= 2 (the pool "
+                    "size); pass --worker-endpoints for standing workers"
+                )
+            if self.backend == "sharded" and self.spill_dir is None:
+                raise EngineError(
+                    "workers_mode='socket' requires the out-of-core mode "
+                    "(pass spill_dir= / --spill-dir): workers attach to the "
+                    "shard files by path"
+                )
+        if (
+            self.delta_spill
+            and self.backend == "sharded"
+            and self.spill_dir is None
+        ):
+            raise EngineError(
+                "delta_spill requires the out-of-core mode (pass "
+                "spill_dir= / --spill-dir): delta writes reuse spilled "
+                "shard files"
+            )
         if (
             self.backend == "sharded"
             and self.max_resident_bytes is not None
@@ -294,6 +359,8 @@ class EngineConfig:
             array_cutoff=getattr(args, "array_cutoff", None),
             run_cutoff=getattr(args, "run_cutoff", None),
             kernel_tier=getattr(args, "kernel_tier", None),
+            worker_endpoints=getattr(args, "worker_endpoints", None),
+            delta_spill=getattr(args, "delta_spill", None),
         )
 
     # ------------------------------------------------------------------

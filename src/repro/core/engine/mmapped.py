@@ -43,6 +43,7 @@ any missing, truncated, or corrupted shard file.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -66,10 +67,25 @@ from repro.exceptions import EngineError
 
 _WORD_BITS = 64
 
-#: Manifest format tag; bumped on incompatible layout changes.
-MANIFEST_FORMAT = "repro-shard-store/v1"
+#: Original manifest format (no per-shard fingerprints or split keys).
+MANIFEST_FORMAT_V1 = "repro-shard-store/v1"
+
+#: Current manifest format: per-shard slice fingerprints + start keys
+#: (the substrate of :meth:`ShardStoreWriter.delta_write`) and an optional
+#: ``dataset.npz`` payload for warm-start attaches.
+MANIFEST_FORMAT = "repro-shard-store/v2"
+
+#: Formats :meth:`MmapShardStore.open` accepts (v1 dirs stay readable;
+#: they simply carry no fingerprints, so delta writes treat every shard
+#: as dirty).
+SUPPORTED_MANIFEST_FORMATS = (MANIFEST_FORMAT_V1, MANIFEST_FORMAT)
 
 MANIFEST_NAME = "manifest.json"
+
+#: Optional sidecar with the dataset's unique rows + multiplicities, so a
+#: spill directory alone can warm-start a serving process
+#: (:func:`load_spill_dataset`).
+DATASET_PAYLOAD_NAME = "dataset.npz"
 
 #: Top-level fields every manifest must carry.
 _MANIFEST_KEYS = (
@@ -96,6 +112,49 @@ _SHARD_ENTRY_KEYS = (
     "unique_stop",
     "row_count",
 )
+
+#: Per-shard fields v2 manifests additionally carry: the content
+#: fingerprint of the shard's unique-combination slice and the slice's
+#: first combination (the partition key delta writes re-split by).
+_SHARD_ENTRY_KEYS_V2 = ("fingerprint", "start_key")
+
+
+def shard_slice_fingerprint(
+    unique_rows: np.ndarray, counts: Optional[np.ndarray]
+) -> str:
+    """Content hash of one shard's unique-combination slice.
+
+    The packed word block and padded multiplicity vector of a shard are
+    pure functions of ``(unique slice, counts slice, cardinalities)``, so
+    two shards with equal fingerprints (under the same schema) have
+    bit-identical files — the invariant :meth:`ShardStoreWriter.delta_write`
+    relies on to reuse clean shards.  ``counts`` is the slice's exact
+    multiplicity vector, or ``None`` for uniform data.
+    """
+    digest = hashlib.sha256()
+    rows = np.ascontiguousarray(unique_rows, dtype=np.int32)
+    digest.update(repr(rows.shape).encode())
+    digest.update(rows.tobytes())
+    if counts is not None:
+        digest.update(
+            np.ascontiguousarray(counts, dtype=np.int64).tobytes()
+        )
+    return digest.hexdigest()
+
+
+def _lex_searchsorted(unique: np.ndarray, key: Sequence[int]) -> int:
+    """Leftmost insertion index of ``key`` in lexicographically sorted rows.
+
+    ``unique`` is the (U, d) sorted unique-combination array
+    (``np.unique(axis=0)`` order); a structured view makes ``searchsorted``
+    compare whole rows lexicographically.
+    """
+    rows = np.ascontiguousarray(unique, dtype=np.int32)
+    if rows.shape[0] == 0:
+        return 0
+    view = rows.view([("", rows.dtype)] * rows.shape[1]).ravel()
+    needle = np.array(tuple(int(v) for v in key), dtype=view.dtype)
+    return int(np.searchsorted(view, needle, side="left"))
 
 
 # ----------------------------------------------------------------------
@@ -163,8 +222,15 @@ class ShardStoreWriter:
         unique_start: int,
         unique_stop: int,
         row_count: int,
+        fingerprint: Optional[str] = None,
+        start_key: Optional[Sequence[int]] = None,
     ) -> None:
-        """Serialize one shard block (``(sum(c_i), W_j)`` words + counts)."""
+        """Serialize one shard block (``(sum(c_i), W_j)`` words + counts).
+
+        ``fingerprint`` is the slice's :func:`shard_slice_fingerprint` and
+        ``start_key`` the slice's first unique combination (``None`` for an
+        empty slice) — the v2 manifest fields delta writes diff by.
+        """
         if self._finished:
             raise EngineError("shard store writer already finished")
         words = np.ascontiguousarray(words, dtype=np.uint64)
@@ -188,6 +254,10 @@ class ShardStoreWriter:
             "unique_start": int(unique_start),
             "unique_stop": int(unique_stop),
             "row_count": int(row_count),
+            "fingerprint": fingerprint,
+            "start_key": (
+                None if start_key is None else [int(v) for v in start_key]
+            ),
         }
         if not self._uniform:
             if counts is None:
@@ -201,13 +271,105 @@ class ShardStoreWriter:
         self._entries.append(entry)
         self._word_offset = entry["word_stop"]
 
+    def link_shard(
+        self,
+        prev_path,
+        prev_entry: Dict[str, Any],
+        *,
+        unique_start: int,
+        unique_stop: int,
+        fingerprint: Optional[str],
+        start_key: Optional[Sequence[int]],
+    ) -> None:
+        """Adopt an unchanged shard from a previous store without rewriting.
+
+        The previous shard's files are hard-linked into this directory
+        (falling back to a copy across filesystems), so a clean shard costs
+        directory entries, not bytes.  The caller guarantees the slice
+        content is identical (fingerprint equality); layout offsets are
+        recomputed for this store's shard order.
+        """
+        if self._finished:
+            raise EngineError("shard store writer already finished")
+        prev_path = Path(prev_path)
+        shard_id = len(self._entries)
+        width = int(prev_entry["word_stop"]) - int(prev_entry["word_start"])
+        entry: Dict[str, Any] = {
+            "id": shard_id,
+            "words_file": f"shard_{shard_id:04d}.words.npy",
+            "words_shape": [int(s) for s in prev_entry["words_shape"]],
+            "words_size": int(prev_entry["words_size"]),
+            "counts_file": None,
+            "counts_shape": None,
+            "counts_size": 0,
+            "word_start": self._word_offset,
+            "word_stop": self._word_offset + width,
+            "unique_start": int(unique_start),
+            "unique_stop": int(unique_stop),
+            "row_count": int(prev_entry["row_count"]),
+            "fingerprint": fingerprint,
+            "start_key": (
+                None if start_key is None else [int(v) for v in start_key]
+            ),
+        }
+        self._link_file(
+            prev_path / prev_entry["words_file"],
+            self._path / entry["words_file"],
+        )
+        if prev_entry["counts_file"] is not None:
+            if self._uniform:
+                raise EngineError(
+                    "cannot reuse a multiplicity shard in a uniform store"
+                )
+            entry["counts_file"] = f"shard_{shard_id:04d}.counts.npy"
+            entry["counts_shape"] = [int(prev_entry["counts_shape"][0])]
+            entry["counts_size"] = int(prev_entry["counts_size"])
+            self._link_file(
+                prev_path / prev_entry["counts_file"],
+                self._path / entry["counts_file"],
+            )
+        elif not self._uniform:
+            raise EngineError(
+                "cannot reuse a uniform shard in a multiplicity store"
+            )
+        self._entries.append(entry)
+        self._word_offset = entry["word_stop"]
+
+    @staticmethod
+    def _link_file(source: Path, target: Path) -> None:
+        try:
+            os.link(source, target)
+        except OSError:
+            # Cross-device spill roots (or filesystems without hard links)
+            # degrade to a copy; correctness is unaffected.
+            shutil.copy2(source, target)
+
     def finish(
-        self, max_resident_bytes: Optional[int] = None, owns_files: bool = True
+        self,
+        max_resident_bytes: Optional[int] = None,
+        owns_files: bool = True,
+        dataset_payload: Optional[
+            Tuple[np.ndarray, np.ndarray, Sequence[str]]
+        ] = None,
     ) -> "MmapShardStore":
-        """Write the manifest (atomically, last) and open the store."""
+        """Write the manifest (atomically, last) and open the store.
+
+        ``dataset_payload`` — ``(unique rows, multiplicities, attribute
+        names)`` — additionally serializes the dataset's logical content
+        next to the shards, so :func:`load_spill_dataset` can warm-start a
+        fresh process from the spill directory alone.
+        """
         if self._finished:
             raise EngineError("shard store writer already finished")
         self._finished = True
+        if dataset_payload is not None:
+            unique, counts, names = dataset_payload
+            np.savez(
+                self._path / DATASET_PAYLOAD_NAME,
+                unique=np.ascontiguousarray(unique, dtype=np.int32),
+                counts=np.ascontiguousarray(counts, dtype=np.int64),
+                names=np.asarray([str(name) for name in names]),
+            )
         offsets = np.concatenate(
             [[0], np.cumsum(self._cardinalities, dtype=np.int64)]
         )
@@ -231,6 +393,154 @@ class ShardStoreWriter:
             max_resident_bytes=max_resident_bytes,
             owns_files=owns_files,
         )
+
+    # ------------------------------------------------------------------
+    # incremental spill reuse
+    # ------------------------------------------------------------------
+    @classmethod
+    def delta_write(
+        cls,
+        prev_store: "MmapShardStore",
+        dataset,
+        directory,
+        *,
+        max_resident_bytes: Optional[int] = None,
+        owns_files: bool = True,
+        kernel_tier: Optional[str] = None,
+    ) -> "DeltaWriteResult":
+        """Re-spill ``dataset`` into ``directory``, reusing clean shards.
+
+        The previous store's shard partition is re-applied to the new
+        dataset's (sorted) unique-combination space via the manifest's
+        per-shard ``start_key`` split points; each re-split slice whose
+        :func:`shard_slice_fingerprint` matches the previous shard's is
+        hard-linked instead of rebuilt, so an append that touches a handful
+        of combinations re-serializes O(changed shards) — not the index.
+        A v1 manifest (no fingerprints), a changed schema, or a flipped
+        uniformity bit degrade gracefully to a full rewrite under the
+        previous partition arity.  The new manifest commits atomically
+        (written last), exactly like a fresh spill.
+        """
+        from repro.core.engine.sharded import (  # circular-safe: lazy
+            _build_shard_block,
+            _dataset_meta,
+        )
+
+        unique, counts = dataset.unique_rows()
+        unique_total = len(unique)
+        uniform = bool(unique_total == 0 or counts.max(initial=1) == 1)
+        manifest = prev_store.manifest
+        prev_entries = manifest["shards"]
+        cardinalities = [int(c) for c in dataset.cardinalities]
+        # Conditions under which per-shard reuse is sound at all; when any
+        # fails, every slice is treated as dirty (a full rewrite that still
+        # produces a valid v2 store).
+        reusable = (
+            cardinalities == [int(c) for c in manifest["cardinalities"]]
+            and bool(manifest["uniform"]) == uniform
+            and dataset.d > 0
+            and all(
+                entry.get("fingerprint") is not None
+                and entry.get("start_key") is not None
+                for entry in prev_entries
+            )
+        )
+        if reusable:
+            # Re-split the new unique space at the previous shards' start
+            # keys; clean shards land on identical slices, insertions dirty
+            # only the slices they fall into.
+            bounds = [0]
+            for entry in prev_entries[1:]:
+                position = _lex_searchsorted(unique, entry["start_key"])
+                bounds.append(max(position, bounds[-1]))
+            bounds.append(unique_total)
+        else:
+            # Full rewrite: an even partition at the previous arity
+            # (clamped like a fresh build), since nothing can be reused.
+            arity = max(1, min(len(prev_entries), max(unique_total, 1)))
+            bounds = list(
+                np.linspace(0, unique_total, arity + 1).astype(np.int64)
+            )
+
+        inverse = None
+        writer = cls(
+            directory,
+            cardinalities=cardinalities,
+            uniform=uniform,
+            dataset_meta=_dataset_meta(dataset, unique_total),
+        )
+        reused = 0
+        reused_bytes = 0
+        written_bytes = 0
+        dirty: List[int] = []
+        for shard_id, (start, stop) in enumerate(zip(bounds[:-1], bounds[1:])):
+            slice_counts = None if uniform else counts[start:stop]
+            fingerprint = shard_slice_fingerprint(
+                unique[start:stop], slice_counts
+            )
+            start_key = unique[start].tolist() if stop > start else None
+            prev_entry = prev_entries[shard_id]
+            if reusable and prev_entry["fingerprint"] == fingerprint:
+                writer.link_shard(
+                    prev_store.path,
+                    prev_entry,
+                    unique_start=start,
+                    unique_stop=stop,
+                    fingerprint=fingerprint,
+                    start_key=start_key,
+                )
+                reused += 1
+                reused_bytes += int(prev_entry["words_size"]) + int(
+                    prev_entry["counts_size"]
+                )
+                continue
+            if inverse is None:
+                inverse = dataset.unique_inverse()
+            block, counts_padded, row_count = _build_shard_block(
+                dataset,
+                unique,
+                counts,
+                start,
+                stop,
+                inverse=inverse,
+                kernel_tier=kernel_tier,
+            )
+            writer.add_shard(
+                block,
+                None if uniform else counts_padded,
+                unique_start=start,
+                unique_stop=stop,
+                row_count=row_count,
+                fingerprint=fingerprint,
+                start_key=start_key,
+            )
+            entry = writer._entries[-1]
+            written_bytes += int(entry["words_size"]) + int(entry["counts_size"])
+            dirty.append(shard_id)
+        store = writer.finish(
+            max_resident_bytes=max_resident_bytes,
+            owns_files=owns_files,
+            dataset_payload=(unique, counts, dataset.schema.names),
+        )
+        return DeltaWriteResult(
+            store=store,
+            reused_shards=reused,
+            rewritten_shards=len(dirty),
+            reused_bytes=reused_bytes,
+            written_bytes=written_bytes,
+            dirty_shards=tuple(dirty),
+        )
+
+
+class DeltaWriteResult(NamedTuple):
+    """What a :meth:`ShardStoreWriter.delta_write` run reused vs rewrote."""
+
+    store: "MmapShardStore"
+    reused_shards: int
+    rewritten_shards: int
+    reused_bytes: int
+    written_bytes: int
+    dirty_shards: Tuple[int, ...]
 
 
 # ----------------------------------------------------------------------
@@ -335,10 +645,11 @@ class MmapShardStore:
             raise EngineError(
                 f"unreadable shard-store manifest {manifest_path}: {error}"
             ) from error
-        if manifest.get("format") != MANIFEST_FORMAT:
+        if manifest.get("format") not in SUPPORTED_MANIFEST_FORMATS:
             raise EngineError(
                 f"unsupported shard-store format {manifest.get('format')!r} "
-                f"in {manifest_path}; expected {MANIFEST_FORMAT!r}"
+                f"in {manifest_path}; expected one of "
+                f"{list(SUPPORTED_MANIFEST_FORMATS)}"
             )
         # Hand-edited or differently-versioned manifests must fail with a
         # clear error here, not a KeyError deep in a query.
@@ -348,9 +659,12 @@ class MmapShardStore:
                 f"malformed shard-store manifest {manifest_path}: "
                 f"missing or invalid fields {missing or ['shards']}"
             )
+        required_entry_keys = _SHARD_ENTRY_KEYS
+        if manifest["format"] == MANIFEST_FORMAT:
+            required_entry_keys = _SHARD_ENTRY_KEYS + _SHARD_ENTRY_KEYS_V2
         for entry in manifest["shards"]:
             bad = not isinstance(entry, dict) or any(
-                key not in entry for key in _SHARD_ENTRY_KEYS
+                key not in entry for key in required_entry_keys
             )
             if bad:
                 raise EngineError(
@@ -422,6 +736,15 @@ class MmapShardStore:
     @property
     def shard_count(self) -> int:
         return len(self._manifest["shards"])
+
+    @property
+    def format_version(self) -> int:
+        """1 for legacy manifests (no fingerprints), 2 for current ones."""
+        return 1 if self._manifest["format"] == MANIFEST_FORMAT_V1 else 2
+
+    def shard_fingerprint(self, shard_id: int) -> Optional[str]:
+        """The shard's slice fingerprint (``None`` in v1 manifests)."""
+        return self._manifest["shards"][shard_id].get("fingerprint")
 
     @property
     def uniform(self) -> bool:
@@ -617,6 +940,70 @@ class MmapShardStore:
 
 
 # ----------------------------------------------------------------------
+# warm-start payload
+# ----------------------------------------------------------------------
+def load_spill_dataset(directory):
+    """Rebuild the spilled dataset from a directory's ``dataset.npz``.
+
+    Spill directories written at manifest v2 carry the dataset's logical
+    content (unique combinations, multiplicities, attribute names), which
+    is everything the engine stack observes — so a serving process can
+    attach a spill directory it did not write, without the original CSV.
+    The reconstructed rows repeat each unique combination by its
+    multiplicity; the row *order* differs from the original dataset, but
+    the content fingerprint (validated against the manifest here) does not.
+    """
+    from repro.data.dataset import Dataset, Schema  # circular-safe: lazy
+
+    path = Path(directory)
+    payload_path = path / DATASET_PAYLOAD_NAME
+    if not payload_path.is_file():
+        raise EngineError(
+            f"{path} carries no {DATASET_PAYLOAD_NAME}; only spill "
+            f"directories written at manifest format {MANIFEST_FORMAT!r} "
+            f"can warm-start without the original dataset"
+        )
+    manifest_path = path / MANIFEST_NAME
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise EngineError(
+            f"unreadable shard-store manifest {manifest_path}: {error}"
+        ) from error
+    try:
+        with np.load(payload_path, allow_pickle=False) as payload:
+            unique = np.ascontiguousarray(payload["unique"], dtype=np.int32)
+            counts = np.ascontiguousarray(payload["counts"], dtype=np.int64)
+            names = [str(name) for name in payload["names"]]
+    except (OSError, ValueError, KeyError, EOFError) as error:
+        raise EngineError(
+            f"corrupted dataset payload {payload_path}: {error}"
+        ) from error
+    cardinalities = [int(c) for c in manifest.get("cardinalities", [])]
+    if unique.ndim != 2 or unique.shape[1] != len(cardinalities) or len(
+        counts
+    ) != len(unique):
+        raise EngineError(
+            f"dataset payload {payload_path} does not match its manifest "
+            f"(unique {unique.shape}, counts {counts.shape}, "
+            f"{len(cardinalities)} attributes)"
+        )
+    schema = Schema.of(names, cardinalities)
+    rows = np.repeat(unique, counts, axis=0) if len(unique) else unique
+    dataset = Dataset(schema, rows)
+    dataset._prime_unique_cache(unique, counts)
+    expected = manifest.get("dataset", {}).get("fingerprint")
+    if expected is not None and dataset.content_fingerprint() != expected:
+        raise EngineError(
+            f"dataset payload {payload_path} fingerprints "
+            f"{dataset.content_fingerprint()}, but the manifest records "
+            f"{expected}; the spill directory is inconsistent"
+        )
+    return dataset
+
+
+# ----------------------------------------------------------------------
 # process-pool fan-out
 # ----------------------------------------------------------------------
 #: Per-process cache of attached stores, keyed by spill path.  Children
@@ -642,6 +1029,21 @@ def worker_attach(path: str, max_resident_bytes: Optional[int] = None) -> None:
         _WORKER_STORES[path] = MmapShardStore.open(
             path, max_resident_bytes=max_resident_bytes
         )
+
+
+def worker_detach(path: str) -> bool:
+    """Drop a worker-attached store and release its mmap handles.
+
+    The invalidation half of :func:`worker_attach`: a coordinator that
+    delta-rewrote a spill directory tells the workers owning dirty shards
+    to forget the retired path, so the next attach re-opens fresh files.
+    Returns whether a store was actually dropped.
+    """
+    store = _WORKER_STORES.pop(path, None)
+    if store is None:
+        return False
+    store.close()
+    return True
 
 
 #: Shard-op payloads (all small: mask windows, row ids — never the index).

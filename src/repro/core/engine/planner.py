@@ -160,6 +160,11 @@ WORKER_MIN_INDEX_BYTES = 64 << 20
 MAX_PLANNED_SHARDS = 1024
 MAX_PLANNED_WORKERS = 8
 
+#: Socket fan-out rung: once the projected shard bytes exceed this many
+#: times the single-host memory budget, one host's process pool is
+#: assumed saturated and the plan escalates to distributed socket workers.
+SOCKET_BUDGET_MULTIPLE = 4
+
 #: Fraction of available memory the planner budgets for one index.
 MEMORY_BUDGET_FRACTION = 0.5
 
@@ -602,7 +607,10 @@ def plan_engine(
         f"{_fmt_bytes(ceiling)}"
     )
     forced_out_of_core = (
-        requested.spill_dir is not None or requested.workers_mode == "process"
+        requested.spill_dir is not None
+        or requested.workers_mode in ("process", "socket")
+        or requested.worker_endpoints is not None
+        or bool(requested.delta_spill)
     )
     forced_sharded = forced_out_of_core or any(
         value is not None
@@ -687,8 +695,9 @@ def plan_engine(
             max_resident: Optional[int] = budget
         else:
             rationale.append(
-                "out-of-core mode requested explicitly "
-                "(spill_dir / workers_mode='process') -> sharded with spill"
+                "out-of-core mode requested explicitly (spill_dir / "
+                "workers_mode='process'/'socket' / worker_endpoints / "
+                "delta_spill) -> sharded with spill"
             )
             max_resident = requested.max_resident_bytes
         spill_dir = requested.spill_dir
@@ -705,15 +714,35 @@ def plan_engine(
             requested, stats, packed_bytes, SHARD_TARGET_BYTES, rationale
         )
         workers = _plan_workers(requested, stats, packed_bytes, shards, rationale)
+        workers_mode = requested.workers_mode
+        if (
+            workers_mode is None
+            and workers is not None
+            and workers >= 2
+            and packed_bytes > budget * SOCKET_BUDGET_MULTIPLE
+        ):
+            # The rung above the process pool: when the shard bytes dwarf
+            # what one host's budget can stream, place shards on dedicated
+            # socket workers (spawn-local here; point worker_endpoints at
+            # other hosts to actually leave the box).
+            workers_mode = "socket"
+            rationale.append(
+                f"projected shard bytes {_fmt_bytes(packed_bytes)} exceed "
+                f"{SOCKET_BUDGET_MULTIPLE}x the single-host budget "
+                f"{_fmt_bytes(budget)} -> socket fan-out (distributed "
+                f"workers; spawn-local without worker_endpoints)"
+            )
         config = EngineConfig(
             backend="sharded",
             shards=shards,
             workers=workers,
-            workers_mode=requested.workers_mode,
+            workers_mode=workers_mode,
             spill_dir=spill_dir,
             max_resident_bytes=max_resident,
             mask_cache_size=requested.mask_cache_size,
             kernel_tier=requested.kernel_tier,
+            worker_endpoints=requested.worker_endpoints,
+            delta_spill=requested.delta_spill,
         )
     elif forced_sharded or (
         packed_bytes > ceiling and not compressed_single_index

@@ -61,6 +61,7 @@ from repro.core.engine.mmapped import (
     ShardStoreWriter,
     apply_shard_op,
     run_shard_op,
+    shard_slice_fingerprint,
     worker_attach,
 )
 from repro.core.engine.packed import PackedBitsetEngine
@@ -71,8 +72,11 @@ from repro.exceptions import EngineError
 #: Default number of shards when none is requested.
 DEFAULT_SHARDS = 4
 
-#: Worker fan-out modes for ``workers=``.
-WORKERS_MODES = ("thread", "process")
+#: Worker fan-out modes for ``workers=``.  ``"socket"`` fans per-shard ops
+#: out to long-lived worker processes over the length-prefixed socket
+#: protocol in :mod:`repro.core.engine.distributed` — spawn-local workers
+#: by default, remote ``host:port`` endpoints via ``worker_endpoints=``.
+WORKERS_MODES = ("thread", "process", "socket")
 
 #: Default fan-out mode (threads work in every storage mode).
 DEFAULT_WORKERS_MODE = "thread"
@@ -98,6 +102,43 @@ def _dataset_meta(dataset: Dataset, unique_total: int) -> Dict[str, Any]:
         "unique": unique_total,
         "fingerprint": dataset.content_fingerprint(),
     }
+
+
+def _build_shard_block(
+    dataset: Dataset,
+    unique: np.ndarray,
+    counts: np.ndarray,
+    unique_start: int,
+    unique_stop: int,
+    *,
+    inverse: Optional[np.ndarray] = None,
+    kernel_tier: Optional[str] = None,
+):
+    """Pack one shard's stacked membership block from the global aggregation.
+
+    The per-shard serialization unit shared by the engine's spill builder
+    and :meth:`ShardStoreWriter.delta_write` (which rebuilds only dirty
+    shards): returns ``(words block, padded multiplicities, row count)``
+    for the unique-combination slice ``[unique_start, unique_stop)``.
+    """
+    if inverse is None:
+        inverse = dataset.unique_inverse()
+    row_indices = np.nonzero(
+        (inverse >= unique_start) & (inverse < unique_stop)
+    )[0]
+    shard_dataset = dataset.take(row_indices)
+    shard_dataset._prime_unique_cache(
+        unique[unique_start:unique_stop], counts[unique_start:unique_stop]
+    )
+    inner = PackedBitsetEngine(
+        shard_dataset, mask_cache_size=0, kernel_tier=kernel_tier
+    )
+    words = inner.full_mask().words
+    if dataset.d:
+        block = np.vstack([inner.word_matrix(a) for a in range(dataset.d)])
+    else:
+        block = np.zeros((0, len(words)), dtype=np.uint64)
+    return block, inner.counts_padded, len(row_indices)
 
 
 def _fork_available() -> bool:
@@ -152,7 +193,11 @@ class ShardedEngine(CoverageEngine):
         workers_mode: ``"thread"`` (default) runs fan-out on a thread pool;
             ``"process"`` runs it on a process pool whose children attach
             to the spill files by path (requires ``spill_dir=``; falls back
-            to threads on platforms without ``fork``).
+            to threads on platforms without ``fork``); ``"socket"`` runs it
+            on long-lived worker processes speaking the socket protocol —
+            spawn-local by default, or the ``worker_endpoints=`` hosts —
+            with sticky shard placement and retry-with-reattach (requires
+            ``spill_dir=``).
         mask_cache_size: capacity of the hot-mask LRU cache layered over
             ``match_mask`` (see :class:`CoverageEngine`).
         spill_dir: enable the out-of-core mode — shard blocks are
@@ -161,6 +206,13 @@ class ShardedEngine(CoverageEngine):
             collection) and queried via ``np.memmap``.
         max_resident_bytes: byte budget for resident (mmap-opened) shard
             slices in the out-of-core mode; ``None`` means unlimited.
+        worker_endpoints: ``"host:port"`` addresses of running
+            ``repro-coverage worker`` processes (``workers_mode="socket"``
+            only); absent, the engine spawns ``workers`` local workers.
+        delta_spill: let rebuilds over an appended dataset reuse this
+            engine's spill directory via
+            :meth:`ShardStoreWriter.delta_write` (consulted by
+            :meth:`delta_rebuild` callers such as the incremental index).
     """
 
     name = "sharded"
@@ -175,6 +227,8 @@ class ShardedEngine(CoverageEngine):
         max_resident_bytes: Optional[int] = None,
         workers_mode: str = DEFAULT_WORKERS_MODE,
         kernel_tier: str = None,
+        worker_endpoints: Optional[Sequence[str]] = None,
+        delta_spill: bool = False,
         _attach_store: Optional[MmapShardStore] = None,
     ) -> None:
         super().__init__(
@@ -185,6 +239,8 @@ class ShardedEngine(CoverageEngine):
             workers = int(workers)
         if max_resident_bytes is not None:
             max_resident_bytes = int(max_resident_bytes)
+        if worker_endpoints is not None:
+            worker_endpoints = tuple(str(e) for e in worker_endpoints)
         # One validator holds every cross-field rule (EngineConfig.validate)
         # so constructor callers and config callers cannot drift; an adopted
         # store stands in for spill_dir, making attach() pass the same
@@ -208,11 +264,15 @@ class ShardedEngine(CoverageEngine):
             ),
             max_resident_bytes=max_resident_bytes,
             kernel_tier=kernel_tier,
+            worker_endpoints=worker_endpoints,
+            delta_spill=delta_spill or None,
         )
         out_of_core = spill_dir is not None or _attach_store is not None
         self._requested_shards = shards
         self._workers = workers
         self._workers_mode = workers_mode
+        self._worker_endpoints = worker_endpoints
+        self._delta_spill = bool(delta_spill)
         self._max_resident_bytes = max_resident_bytes
         self._store: Optional[MmapShardStore] = None
         self._spill_path_pending: Optional[str] = None
@@ -255,10 +315,27 @@ class ShardedEngine(CoverageEngine):
             and workers_mode == "process"
             and _fork_available()
         )
+        # Socket fan-out needs a spill path for workers to attach by, and
+        # either remote endpoints or the ability to fork local workers;
+        # otherwise it degrades like "process" does (threads, then serial).
+        self._use_socket = (
+            self._store is not None
+            and workers_mode == "socket"
+            and len(self._shards) > 0
+            and (
+                self._worker_endpoints is not None
+                or (self._fan_out and _fork_available())
+            )
+        )
         self._executor: Optional[ThreadPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._process_finalizer: Optional[weakref.finalize] = None
+        self._dist_pool = None
+        self._dist_finalizer: Optional[weakref.finalize] = None
+        #: Set by :meth:`delta_rebuild` — the reuse accounting of the
+        #: delta write that produced this engine's spill directory.
+        self.delta_result = None
 
     # ------------------------------------------------------------------
     # construction
@@ -327,6 +404,17 @@ class ShardedEngine(CoverageEngine):
                     unique_start=int(unique_start),
                     unique_stop=int(unique_stop),
                     row_count=len(row_indices),
+                    fingerprint=shard_slice_fingerprint(
+                        unique_slice,
+                        None
+                        if self._uniform
+                        else self._counts[unique_start:unique_stop],
+                    ),
+                    start_key=(
+                        [int(v) for v in unique_slice[0]]
+                        if len(unique_slice)
+                        else None
+                    ),
                 )
             else:
                 for attribute in range(dataset.d):
@@ -349,7 +437,13 @@ class ShardedEngine(CoverageEngine):
 
         if writer is not None:
             self._store = writer.finish(
-                max_resident_bytes=self._max_resident_bytes, owns_files=True
+                max_resident_bytes=self._max_resident_bytes,
+                owns_files=True,
+                dataset_payload=(
+                    self._unique,
+                    self._counts,
+                    dataset.schema.names,
+                ),
             )
             self._words = None
             self._counts_padded = None
@@ -420,6 +514,27 @@ class ShardedEngine(CoverageEngine):
                     f"spill directory {store.path} has a non-contiguous "
                     f"shard layout (manifest shard {entry['id']})"
                 )
+            # v2 manifests fingerprint each shard's unique-combination
+            # slice; recomputing it from this dataset proves the shard
+            # files (including hard-linked ones a delta write reused)
+            # still describe exactly these combinations.
+            if store.format_version >= 2:
+                expected_fingerprint = shard_slice_fingerprint(
+                    self._unique[entry["unique_start"] : entry["unique_stop"]],
+                    None
+                    if self._uniform
+                    else self._counts[
+                        entry["unique_start"] : entry["unique_stop"]
+                    ],
+                )
+                if entry.get("fingerprint") != expected_fingerprint:
+                    store.close()
+                    raise EngineError(
+                        f"spill directory {store.path} shard {entry['id']} "
+                        f"fingerprint mismatch (manifest has "
+                        f"{entry.get('fingerprint')!r}, dataset slice hashes "
+                        f"to {expected_fingerprint!r})"
+                    )
             info = ShardInfo(
                 index=int(entry["id"]),
                 row_count=int(entry["row_count"]),
@@ -460,6 +575,9 @@ class ShardedEngine(CoverageEngine):
         workers_mode: str = DEFAULT_WORKERS_MODE,
         mask_cache_size: int = DEFAULT_MASK_CACHE,
         max_resident_bytes: Optional[int] = None,
+        worker_endpoints: Optional[Sequence[str]] = None,
+        delta_spill: bool = False,
+        kernel_tier: str = None,
     ) -> "ShardedEngine":
         """Re-open a spill directory written by a previous engine.
 
@@ -480,6 +598,9 @@ class ShardedEngine(CoverageEngine):
                 workers_mode=workers_mode,
                 mask_cache_size=mask_cache_size,
                 max_resident_bytes=max_resident_bytes,
+                worker_endpoints=worker_endpoints,
+                delta_spill=delta_spill,
+                kernel_tier=kernel_tier,
                 _attach_store=store,
             )
         except BaseException:
@@ -488,6 +609,95 @@ class ShardedEngine(CoverageEngine):
             # (close() is idempotent for the paths that already closed it).
             store.close()
             raise
+
+    @classmethod
+    def delta_rebuild(
+        cls, previous: "ShardedEngine", dataset: Dataset
+    ) -> "ShardedEngine":
+        """Rebuild ``previous`` over an appended/changed ``dataset``,
+        rewriting only the shards whose unique-combination slice changed.
+
+        :meth:`ShardStoreWriter.delta_write` diffs the new dataset against
+        ``previous``'s spill manifest by per-shard fingerprint and
+        hard-links every clean shard's files into a fresh sibling spill
+        directory, so the re-serialization cost is O(changed shards).  The
+        new engine owns the new directory; ``previous`` keeps its own and
+        stays open (the caller retires it).  A live distributed pool is
+        handed over: workers owning dirty shards are invalidated, everyone
+        re-attaches to the new path — clean shards are the same inodes, so
+        their mmap pages stay warm.  The reuse accounting is left on the
+        returned engine as ``delta_result``.
+        """
+        if previous._store is None:
+            raise EngineError(
+                "delta_rebuild requires an out-of-core previous engine "
+                "(build it with spill_dir=)"
+            )
+        previous._check_open()
+        spill_root = previous._spill_root
+        os.makedirs(spill_root, exist_ok=True)
+        new_path = tempfile.mkdtemp(prefix="repro-shards-", dir=spill_root)
+        try:
+            result = ShardStoreWriter.delta_write(
+                previous._store,
+                dataset,
+                new_path,
+                max_resident_bytes=previous._max_resident_bytes,
+                owns_files=True,
+                kernel_tier=previous._requested_kernel_tier,
+            )
+        except BaseException:
+            shutil.rmtree(new_path, ignore_errors=True)
+            raise
+        store = result.store
+        try:
+            engine = cls(
+                dataset,
+                shards=store.shard_count,
+                workers=previous._workers,
+                workers_mode=previous._workers_mode,
+                mask_cache_size=previous._mask_cache_size,
+                max_resident_bytes=previous._max_resident_bytes,
+                kernel_tier=previous._requested_kernel_tier,
+                worker_endpoints=previous._worker_endpoints,
+                delta_spill=previous._delta_spill,
+                _attach_store=store,
+            )
+        except BaseException:
+            store.close()
+            shutil.rmtree(new_path, ignore_errors=True)
+            raise
+        engine.delta_result = result
+        if previous._dist_pool is not None:
+            # Hand the worker pool over instead of letting the retiring
+            # engine tear it down: push invalidations only to the workers
+            # owning dirty shards, then re-attach everyone to the new path.
+            pool = previous._dist_pool
+            if previous._dist_finalizer is not None:
+                previous._dist_finalizer.detach()
+                previous._dist_finalizer = None
+            previous._dist_pool = None
+            try:
+                pool.invalidate(
+                    str(previous._store.path), result.dirty_shards
+                )
+                pool.attach(
+                    str(store.path),
+                    store.shard_count,
+                    max_resident_bytes=previous._max_resident_bytes,
+                )
+                engine._dist_pool = pool
+                engine._dist_finalizer = weakref.finalize(
+                    engine, pool.close
+                )
+            except Exception:
+                # A broken pool is not worth failing the rebuild over —
+                # the new engine lazily spawns a fresh one on first query.
+                try:
+                    pool.close()
+                except Exception:
+                    pass
+        return engine
 
     # ------------------------------------------------------------------
     # shard plumbing
@@ -514,17 +724,30 @@ class ShardedEngine(CoverageEngine):
 
     @property
     def workers_mode(self) -> str:
-        """Requested fan-out mode (``"thread"`` / ``"process"``)."""
+        """Requested fan-out mode (``"thread"``/``"process"``/``"socket"``)."""
         return self._workers_mode
+
+    @property
+    def worker_endpoints(self) -> Optional[Sequence[str]]:
+        """Remote worker addresses (``workers_mode="socket"`` only)."""
+        return self._worker_endpoints
+
+    @property
+    def delta_spill(self) -> bool:
+        """Whether rebuilds may reuse this spill dir via delta writes."""
+        return self._delta_spill
 
     @property
     def effective_workers_mode(self) -> str:
         """The fan-out mode queries actually use.
 
         ``"serial"`` when no fan-out is configured; ``"thread"`` when
-        threads serve it (including the fallback from ``"process"`` on
-        platforms without ``fork``); ``"process"`` otherwise.
+        threads serve it (including the fallback from ``"process"`` or
+        ``"socket"`` on platforms without ``fork``); ``"process"`` or
+        ``"socket"`` otherwise.
         """
+        if self._use_socket:
+            return "socket"
         if not self._fan_out:
             return "serial"
         return "process" if self._use_processes else "thread"
@@ -556,23 +779,49 @@ class ShardedEngine(CoverageEngine):
         pool).  An out-of-core engine deletes its spill directory when it
         owns one (i.e. it was not :meth:`attach`-ed), after which queries
         raise :class:`EngineError`.
+
+        Every teardown step runs even if an earlier one raises (a shard op
+        that died mid-fan-out can leave a pool broken): the store and its
+        mmap handles are always released, and the first error is re-raised
+        after the sweep.
         """
+        errors: List[BaseException] = []
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            try:
+                executor.shutdown(wait=True)
+            except BaseException as exc:  # noqa: BLE001 — resurfaced below
+                errors.append(exc)
         if self._process_finalizer is not None:
             self._process_finalizer.detach()
             self._process_finalizer = None
         if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
+            pool, self._process_pool = self._process_pool, None
+            try:
+                pool.shutdown(wait=True)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+        if self._dist_finalizer is not None:
+            self._dist_finalizer.detach()
+            self._dist_finalizer = None
+        if self._dist_pool is not None:
+            pool, self._dist_pool = self._dist_pool, None
+            try:
+                pool.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
         if self._store is not None:
-            self._store.close()
+            try:
+                self._store.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
             # Cached masks must not keep answering for released spill files.
             self.clear_mask_cache()
+        if errors:
+            raise errors[0]
 
     def cache_info(self) -> Dict[str, Any]:
         """Hot-mask cache counters, plus the spill loader's residency split.
@@ -621,6 +870,8 @@ class ShardedEngine(CoverageEngine):
         ``(op, payload)`` pairs run on the process pool, the thread pool,
         or inline — so the three evaluation modes cannot diverge.
         """
+        if self._use_socket:
+            return self._map_shards_socket(op, payloads)
         if self._use_processes:
             return self._map_shards_process(op, payloads)
 
@@ -670,6 +921,48 @@ class ShardedEngine(CoverageEngine):
             )
         )
 
+    def _ensure_dist_pool(self):
+        """The socket worker pool, spawning/connecting + attaching lazily.
+
+        Spawn-local workers when no endpoints are configured (one per
+        worker slot, capped at the shard count); otherwise connect to the
+        standing ``host:port`` workers.  Either way every worker attaches
+        to this engine's spill path before the first op, so placement is
+        sticky from the start.
+        """
+        if self._dist_pool is None:
+            from repro.core.engine.distributed import DistributedPool
+
+            if self._worker_endpoints:
+                pool = DistributedPool.connect(self._worker_endpoints)
+            else:
+                pool = DistributedPool.spawn_local(
+                    min(self._workers or 1, len(self._shards))
+                )
+            try:
+                pool.attach(
+                    self.spill_path,
+                    len(self._shards),
+                    max_resident_bytes=self._max_resident_bytes,
+                )
+            except BaseException:
+                pool.close()
+                raise
+            self._dist_pool = pool
+            self._dist_finalizer = weakref.finalize(self, pool.close)
+        return self._dist_pool
+
+    def _map_shards_socket(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run one shard op per shard on the socket worker pool.
+
+        The pool batches the ops per owning worker (placement is sticky:
+        shard ``k`` always lands on the worker holding shard ``k``'s
+        mmap-warm bytes), retries once with a respawned + re-attached
+        worker on connection death, and returns results in shard order.
+        """
+        pool = self._ensure_dist_pool()
+        return pool.run_shard_ops(self.spill_path, op, list(payloads))
+
     def _template_options(self) -> Dict[str, Any]:
         options = super()._template_options()
         options.update(
@@ -679,6 +972,10 @@ class ShardedEngine(CoverageEngine):
             spill_dir=self._spill_root if self._store is not None else None,
             max_resident_bytes=self._max_resident_bytes,
         )
+        if self._worker_endpoints is not None:
+            options["worker_endpoints"] = self._worker_endpoints
+        if self._delta_spill:
+            options["delta_spill"] = True
         return options
 
     # ------------------------------------------------------------------

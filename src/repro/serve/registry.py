@@ -147,6 +147,62 @@ class EngineRegistry:
         loser.close()
         return winner, False
 
+    def register_spill(self, spill_path: str) -> Tuple[DatasetEntry, bool]:
+        """Warm an entry by attaching a finished spill directory.
+
+        The restart path: the directory's serialized dataset payload
+        reconstructs the logical dataset
+        (:func:`~repro.core.engine.load_spill_dataset`), the existing shard
+        files are attached in place — fingerprint-validated, never
+        re-serialized — and the entry registers like any other.  The
+        attached engine does not own the directory, so eviction or
+        shutdown releases the mmaps without deleting the files.
+        """
+        from repro.core.engine import load_spill_dataset
+        from repro.core.engine.sharded import (
+            DEFAULT_WORKERS_MODE,
+            ShardedEngine,
+        )
+
+        dataset = load_spill_dataset(spill_path)
+        key = dataset.content_fingerprint()
+        with self._lock:
+            existing = self._entries.get(self._aliases.get(key, key))
+            if existing is not None:
+                self._entries.move_to_end(existing.key)
+                return existing, False
+        attach_options = dict(
+            workers=self._engine.workers,
+            workers_mode=self._engine.workers_mode or DEFAULT_WORKERS_MODE,
+            max_resident_bytes=self._engine.max_resident_bytes,
+            worker_endpoints=self._engine.worker_endpoints,
+            delta_spill=bool(self._engine.delta_spill),
+            kernel_tier=self._engine.kernel_tier,
+        )
+        if self._engine.mask_cache_size is not None:
+            attach_options["mask_cache_size"] = self._engine.mask_cache_size
+        engine = ShardedEngine.attach(dataset, spill_path, **attach_options)
+        try:
+            oracle = CoverageOracle(dataset, engine=engine)
+            nbytes = int(engine.index_nbytes)
+            entry = DatasetEntry(key, Snapshot(dataset, oracle, key), nbytes)
+        except BaseException:
+            engine.close()
+            raise
+        with self._lock:
+            winner = self._entries.get(self._aliases.get(key, key))
+            if winner is not None:
+                self._entries.move_to_end(winner.key)
+                loser = entry
+            else:
+                self._entries[key] = entry
+                self._total_nbytes += entry.nbytes
+                self._registers += 1
+                self._evict_over_budget()
+                return entry, True
+        loser.close()
+        return winner, False
+
     def _evict_over_budget(self) -> List[DatasetEntry]:
         """Pop LRU entries beyond the caps (registry lock must be held).
 

@@ -84,9 +84,12 @@ def engine_matrix(dataset, mask_cache_size):
 
     The matrix ends with the out-of-core sharded engine — spilled into a
     temporary directory and starved with ``max_resident_bytes=1`` so every
-    shard load evicts the previous one (a one-shard resident set) — and
-    whatever the ``auto`` planner picks for the dataset, so every plan the
-    planner can emit stays observationally equivalent too.
+    shard load evicts the previous one (a one-shard resident set) — a
+    socket-mode engine (spawn-local distributed workers answering over
+    length-prefixed frames, falling back to serial scans where ``fork``
+    is unavailable or the dataset clamps to one shard), and whatever the
+    ``auto`` planner picks for the dataset, so every plan the planner can
+    emit stays observationally equivalent too.
     """
     with tempfile.TemporaryDirectory(prefix="repro-equiv-") as root:
         engines = [
@@ -104,6 +107,16 @@ def engine_matrix(dataset, mask_cache_size):
                 mask_cache_size=mask_cache_size,
                 spill_dir=root,
                 max_resident_bytes=1,
+            )
+        )
+        engines.append(
+            ShardedEngine(
+                dataset,
+                shards=OOC_SHARDS,
+                workers=2,
+                workers_mode="socket",
+                mask_cache_size=mask_cache_size,
+                spill_dir=root,
             )
         )
         engines.append(
