@@ -63,6 +63,11 @@ from repro.core.enhancement import (
 )
 from repro.data import Dataset, Schema
 from repro.analysis import coverage_label, mup_report, enhancement_report
+from repro.analysis.hierarchy import (
+    HierarchyStack,
+    bucketize_sweep,
+    find_mups_hierarchical,
+)
 
 __version__ = "1.0.0"
 
@@ -107,5 +112,8 @@ __all__ = [
     "coverage_label",
     "mup_report",
     "enhancement_report",
+    "HierarchyStack",
+    "find_mups_hierarchical",
+    "bucketize_sweep",
     "__version__",
 ]

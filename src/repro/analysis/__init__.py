@@ -3,6 +3,16 @@ reports, and threshold-selection helpers.
 """
 
 from repro.analysis.diff import CoverageDiff, coverage_diff
+from repro.analysis.hierarchy import (
+    BucketSweepPoint,
+    BucketSweepResult,
+    HierarchicalMupResult,
+    HierarchyLevel,
+    HierarchyStack,
+    bucketize_sweep,
+    bucketized_dataset,
+    find_mups_hierarchical,
+)
 from repro.analysis.nutrition import CoverageLabel, coverage_label
 from repro.analysis.report import mup_report, enhancement_report
 from repro.analysis.sweep import (
@@ -19,6 +29,14 @@ from repro.analysis.thresholds import threshold_sweep, suggest_threshold
 __all__ = [
     "CoverageDiff",
     "coverage_diff",
+    "BucketSweepPoint",
+    "BucketSweepResult",
+    "HierarchicalMupResult",
+    "HierarchyLevel",
+    "HierarchyStack",
+    "bucketize_sweep",
+    "bucketized_dataset",
+    "find_mups_hierarchical",
     "CoverageLabel",
     "coverage_label",
     "mup_report",

@@ -6,6 +6,8 @@ Subcommands:
 * ``label`` — print the nutritional-label coverage widget for a CSV file.
 * ``enhance`` — plan an acquisition for a CSV file and a target level λ.
 * ``sweep`` — amortized threshold sweep with a MUP sensitivity report.
+* ``hierarchy`` — hierarchical MUP search over generalization lattices.
+* ``bucketsweep`` — τ-coverage across bucket counts for a numeric column.
 * ``demo`` — run the COMPAS walk-through on the bundled simulator.
 * ``serve`` — run the persistent HTTP/JSON coverage service.
 * ``worker`` — run a standalone shard worker for socket fan-out.
@@ -26,6 +28,7 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence
 
 from repro._util import format_table
+from repro.analysis.hierarchy import HierarchyStack
 from repro.analysis.nutrition import coverage_label
 from repro.analysis.report import enhancement_report, mup_report
 from repro.analysis.sweep import (
@@ -69,6 +72,68 @@ def _load_csv(path: str, attributes: Optional[Sequence[str]]) -> Dataset:
     if attributes:
         dataset = dataset.project(list(attributes))
     return dataset
+
+
+def _load_csv_numeric(
+    path: str, column: str, attributes: Optional[Sequence[str]]
+) -> tuple:
+    """Read a CSV whose ``column`` is numeric (float), the rest int-coded.
+
+    Returns ``(dataset, values)``: the categorical dataset without the
+    numeric column, plus the numeric column as floats.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if column not in header:
+            raise ReproError(f"column {column!r} not in CSV header {header}")
+        numeric = header.index(column)
+        values: List[float] = []
+        rows = []
+        for row in reader:
+            if not row:
+                continue
+            values.append(float(row[numeric]))
+            rows.append(
+                [int(cell) for i, cell in enumerate(row) if i != numeric]
+            )
+    names = [name for name in header if name != column]
+    dataset = Dataset.from_rows(rows, names=names)
+    if attributes:
+        dataset = dataset.project(list(attributes))
+    return dataset, values
+
+
+def _parse_hierarchy_spec(dataset: Dataset, path: str) -> HierarchyStack:
+    """Load a hierarchy-stack spec from a JSON file.
+
+    Format: ``{"attr": [level, ...], ...}`` where each level maps the
+    attribute's *base* codes to that level's groups — either a plain list
+    of group codes or ``{"groups": [...], "labels": [...]}``.
+    """
+    from repro.data.hierarchy import AttributeHierarchy
+
+    with open(path) as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict) or not spec:
+        raise ReproError(
+            "hierarchy spec must be a JSON object mapping attribute names "
+            "to lists of levels"
+        )
+    chains = {}
+    for name, levels in spec.items():
+        chain = []
+        for level in levels:
+            if isinstance(level, dict):
+                chain.append(
+                    AttributeHierarchy.of(
+                        name, level["groups"], level.get("labels")
+                    )
+                )
+            else:
+                chain.append(AttributeHierarchy.of(name, level))
+        chains[name] = chain
+    return HierarchyStack.of(dataset, chains)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -376,6 +441,100 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.analysis.hierarchy import find_mups_hierarchical
+
+    dataset = _load_csv(args.csv, args.attributes)
+    stack = _parse_hierarchy_spec(dataset, args.hierarchy)
+    with _engine_scope(args, dataset, query_shape="hierarchy") as engine:
+        oracle = CoverageOracle(dataset, engine=engine)
+        result = find_mups_hierarchical(
+            dataset,
+            stack,
+            threshold=args.threshold,
+            max_level=args.max_level,
+            oracle=oracle,
+            remedies=not args.no_remedies,
+        )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for entry in reversed(result.levels):  # coarsest first, like the search
+        mup_result = entry.result
+        rows.append(
+            [
+                entry.level,
+                "x".join(str(c) for c in entry.rollup.dataset.cardinalities),
+                len(mup_result),
+                mup_result.max_covered_level(entry.rollup.dataset.d),
+                mup_result.stats.coverage_evaluations,
+                mup_result.stats.pruned,
+            ]
+        )
+    print(
+        f"hierarchical MUP search, τ={result.threshold}, "
+        f"{stack.depth + 1} levels (coarsest to finest):"
+    )
+    print(
+        format_table(
+            ["level", "cardinalities", "mups", "max covered", "evals", "pruned"],
+            rows,
+        )
+    )
+    if result.remedies:
+        print()
+        print(f"remedies by generalization (first {args.limit}):")
+        for remedy in result.remedies[: args.limit]:
+            print(f"  {remedy.describe(dataset.schema, stack)}")
+        if len(result.remedies) > args.limit:
+            print(f"  ... {len(result.remedies) - args.limit} more")
+    return 0
+
+
+def _cmd_bucketsweep(args: argparse.Namespace) -> int:
+    from repro.analysis.hierarchy import bucketize_sweep, bucketized_dataset
+
+    dataset, values = _load_csv_numeric(args.csv, args.column, args.attributes)
+    counts = sorted(set(args.buckets))
+    fine = bucketized_dataset(dataset, values, max(counts), name=args.column)
+    with _engine_scope(args, fine, query_shape="hierarchy") as engine:
+        oracle = CoverageOracle(fine, engine=engine)
+        result = bucketize_sweep(
+            dataset,
+            values,
+            counts,
+            threshold=args.threshold,
+            name=args.column,
+            oracle=oracle,
+        )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"bucketization sweep over {args.column!r}, τ={result.threshold} "
+        f"(one engine over {max(counts)} buckets, counts shared downward):"
+    )
+    rows = [
+        [
+            point.buckets,
+            point.cardinality,
+            len(point.result),
+            point.result.max_covered_level(dataset.d + 1),
+            point.result.stats.coverage_evaluations,
+            point.result.stats.pruned,
+        ]
+        for point in result.points
+    ]
+    print(
+        format_table(
+            ["buckets", "cardinality", "mups", "max covered", "evals", "pruned"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _parse_rules(dataset: Dataset, texts: Sequence[str]) -> ValidationOracle:
     """Parse ``--rule "attr=code,attr=code"`` forbidden conjunctions.
 
@@ -654,6 +813,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    hierarchy = commands.add_parser(
+        "hierarchy",
+        help="hierarchical MUP search over a stack of attribute "
+        "generalization hierarchies: coarsest rollup first, drilling down "
+        "only into uncovered regions, with per-MUP generalization remedies",
+    )
+    hierarchy.add_argument("csv", help="path to an integer-coded CSV file")
+    hierarchy.add_argument(
+        "--attributes",
+        nargs="+",
+        help="attributes of interest (default: all columns)",
+    )
+    hierarchy.add_argument(
+        "--threshold", type=int, required=True, help="coverage threshold τ"
+    )
+    hierarchy.add_argument(
+        "--hierarchy",
+        required=True,
+        metavar="SPEC.json",
+        help="JSON hierarchy spec: {\"attr\": [level, ...]} where each "
+        "level maps the attribute's base codes to group codes (a plain "
+        "list, or {\"groups\": [...], \"labels\": [...]})",
+    )
+    hierarchy.add_argument(
+        "--max-level", type=int, default=None, help="level cap per search"
+    )
+    hierarchy.add_argument(
+        "--no-remedies",
+        action="store_true",
+        help="skip the most-specific-covered-generalization remedies",
+    )
+    hierarchy.add_argument(
+        "--limit", type=int, default=25, help="remedy rows to print"
+    )
+    hierarchy.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the hierarchical result as JSON instead of tables",
+    )
+    _add_engine_options(hierarchy)
+    hierarchy.set_defaults(handler=_cmd_hierarchy)
+
+    bucketsweep = commands.add_parser(
+        "bucketsweep",
+        help="τ-coverage as a function of equal-width bucket count for a "
+        "numeric column: one engine over the finest bucketization answers "
+        "every coarser count through a shared count memo",
+    )
+    bucketsweep.add_argument(
+        "csv", help="path to a CSV file with one numeric column"
+    )
+    bucketsweep.add_argument(
+        "--attributes",
+        nargs="+",
+        help="categorical attributes of interest (default: all columns)",
+    )
+    bucketsweep.add_argument(
+        "--column", required=True, help="name of the numeric column to sweep"
+    )
+    bucketsweep.add_argument(
+        "--buckets",
+        type=int,
+        nargs="+",
+        required=True,
+        help="equal-width bucket counts (each >= 2, each dividing the "
+        "largest so counts nest)",
+    )
+    bucketsweep.add_argument(
+        "--threshold", type=int, required=True, help="coverage threshold τ"
+    )
+    bucketsweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the sweep as JSON instead of tables",
+    )
+    _add_engine_options(bucketsweep)
+    bucketsweep.set_defaults(handler=_cmd_bucketsweep)
 
     demo = commands.add_parser("demo", help="COMPAS walk-through on bundled data")
     demo.add_argument("--threshold", type=int, default=10)

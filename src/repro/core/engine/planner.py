@@ -71,6 +71,14 @@ _WORD_BITS = 64
 #: Keep the dense reference representation while its bool index fits here.
 DENSE_MAX_INDEX_BYTES = 256 << 10
 
+#: Hierarchy query shape: dense indices up to this multiple of the normal
+#: ceiling still plan dense.  The hierarchical search builds one
+#: short-lived engine per stack level over a pre-aggregated roll-up, so
+#: dense's near-zero build cost and branch-free bool masks beat the
+#: packed/compressed per-query constants that dominate the few hundred
+#: batched counts each level actually issues.
+HIERARCHY_DENSE_MULTIPLE = 16
+
 #: Calibrated effective scan throughput of the fused packed kernels
 #: (bytes/second), measured by benchmarks/bench_planner.py smoke runs and
 #: set conservatively so slower machines still escalate in time.
@@ -97,8 +105,12 @@ PACKED_MAX_INDEX_BYTES = int(
 #: amortizes over the batch and sharding's dispatch overhead hurts more;
 #: ``"sweep"`` — the amortized multi-threshold mode
 #: (:mod:`repro.analysis.sweep`), batch-heavy *and* further amortized
-#: because one counting pass classifies a pattern for every τ at once.
-QUERY_SHAPES = ("point", "batch", "sweep")
+#: because one counting pass classifies a pattern for every τ at once;
+#: ``"hierarchy"`` — the coarse-to-fine generalization-lattice mode
+#: (:mod:`repro.analysis.hierarchy`), batch-heavy level sweeps whose finer
+#: levels skip counting inside regions a coarser rollup already proved
+#: uncovered, so each remaining scan serves extra classification work.
+QUERY_SHAPES = ("point", "batch", "sweep", "hierarchy")
 
 #: Effective scan-throughput multiplier of the jit kernel tier over the
 #: numpy tier (conservative; bench_kernels.py measures >= 5x on the fused
@@ -117,10 +129,17 @@ BATCH_LATENCY_TARGET_SECONDS = SINGLE_INDEX_TARGET_SECONDS * 4
 #: per-(pattern, τ) cost exceeds the point-shape budget.
 SWEEP_LATENCY_TARGET_SECONDS = BATCH_LATENCY_TARGET_SECONDS * 2
 
+#: Latency target for one scan in the hierarchical drill-down mode: level
+#: sweeps over a stack of rollups where coarse tables pre-classify part of
+#: every finer frontier — less amortization than a full τ sweep (each
+#: level still answers a single τ), more than a flat batch.
+HIERARCHY_LATENCY_TARGET_SECONDS = BATCH_LATENCY_TARGET_SECONDS * 1.5
+
 _SHAPE_LATENCY_TARGETS = {
     "point": SINGLE_INDEX_TARGET_SECONDS,
     "batch": BATCH_LATENCY_TARGET_SECONDS,
     "sweep": SWEEP_LATENCY_TARGET_SECONDS,
+    "hierarchy": HIERARCHY_LATENCY_TARGET_SECONDS,
 }
 
 
@@ -600,6 +619,10 @@ def plan_engine(
         "point": "point-heavy query shape (latency-bound probes)",
         "batch": "batch-heavy query shape (level sweeps amortize scans)",
         "sweep": "sweep query shape (one counting pass classifies every τ)",
+        "hierarchy": (
+            "hierarchy query shape (coarse rollups pre-classify finer "
+            "frontiers)"
+        ),
     }
     rationale.append(
         f"{shape_reasons[stats.query_shape]} on "
@@ -769,11 +792,24 @@ def plan_engine(
             mask_cache_size=requested.mask_cache_size,
             kernel_tier=requested.kernel_tier,
         )
-    elif stats.projected_dense_bytes <= DENSE_MAX_INDEX_BYTES:
+    elif stats.projected_dense_bytes <= DENSE_MAX_INDEX_BYTES * (
+        HIERARCHY_DENSE_MULTIPLE if stats.query_shape == "hierarchy" else 1
+    ):
+        dense_ceiling = DENSE_MAX_INDEX_BYTES * (
+            HIERARCHY_DENSE_MULTIPLE
+            if stats.query_shape == "hierarchy"
+            else 1
+        )
         rationale.append(
             f"projected dense index {_fmt_bytes(stats.projected_dense_bytes)} "
-            f"fits the dense ceiling {_fmt_bytes(DENSE_MAX_INDEX_BYTES)} -> "
-            f"dense (no packing overhead on tiny indices)"
+            f"fits the dense ceiling {_fmt_bytes(dense_ceiling)} -> "
+            f"dense (no packing overhead on tiny indices"
+            + (
+                "; hierarchy shape favors per-level build cost over "
+                "index size)"
+                if stats.query_shape == "hierarchy"
+                else ")"
+            )
         )
         config = EngineConfig(
             backend="dense",

@@ -4,6 +4,11 @@ tuples to collect so the maximum covered level reaches a target λ.
 
 from repro.core.enhancement.expansion import uncovered_at_level
 from repro.core.enhancement.greedy import EnhancementResult, greedy_cover, enhance_coverage
+from repro.core.enhancement.hierarchical import (
+    GeneralizationRemedy,
+    HierarchicalEnhancementPlan,
+    plan_hierarchical_enhancement,
+)
 from repro.core.enhancement.hitting_set import naive_greedy_cover
 from repro.core.enhancement.oracle import ValidationOracle, ValidationRule
 from repro.core.enhancement.value_count import targets_by_value_count
@@ -13,6 +18,9 @@ __all__ = [
     "EnhancementResult",
     "greedy_cover",
     "enhance_coverage",
+    "GeneralizationRemedy",
+    "HierarchicalEnhancementPlan",
+    "plan_hierarchical_enhancement",
     "naive_greedy_cover",
     "ValidationOracle",
     "ValidationRule",

@@ -3,21 +3,55 @@
 The paper handles continuous attributes by "putting similar values into the
 same bucket".  These helpers turn a numeric column into integer bucket codes
 plus human-readable bucket labels, ready to slot into a :class:`Schema`.
+
+All three bucketizers reject non-finite inputs (NaN, ±inf): NaN sorts after
+every float, so ``np.searchsorted`` would silently drop NaN rows into the top
+bucket and corrupt every coverage count downstream.  Bucket labels are
+half-open ``[a,b)`` except the last, which is closed ``[a,b]`` because the
+column maximum is included in it.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import DataError
 
 
+def _finite_column(values: Sequence[float]) -> np.ndarray:
+    """Normalize a numeric column, rejecting empty and non-finite input."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise DataError("cannot bucketize an empty column")
+    if not np.isfinite(array).all():
+        bad = array[~np.isfinite(array)]
+        raise DataError(
+            f"cannot bucketize non-finite values (found {bad[0]!r} at row "
+            f"{int(np.flatnonzero(~np.isfinite(array))[0])}); drop or impute "
+            "NaN/inf rows first"
+        )
+    return array
+
+
+def _interval_labels(edges: Sequence[float]) -> List[str]:
+    """Labels for consecutive ``edges`` intervals; the last one is closed
+    because the column maximum belongs to it."""
+    count = len(edges) - 1
+    labels = [
+        f"[{edges[k]:g},{edges[k + 1]:g})" for k in range(count - 1)
+    ]
+    labels.append(f"[{edges[count - 1]:g},{edges[count]:g}]")
+    return labels
+
+
 def bucketize_thresholds(
-    values: Sequence[float], thresholds: Sequence[float], labels: Sequence[str] = None
+    values: Sequence[float],
+    thresholds: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
 ) -> Tuple[np.ndarray, List[str]]:
-    """Bucketize using explicit ascending ``thresholds``.
+    """Bucketize using explicit strictly ascending ``thresholds``.
 
     A value lands in bucket ``k`` when ``thresholds[k-1] <= value <
     thresholds[k]``; there are ``len(thresholds) + 1`` buckets.  This is how
@@ -28,16 +62,21 @@ def bucketize_thresholds(
         ``(codes, bucket_labels)`` where codes are ints in
         ``[0, len(thresholds)]``.
     """
-    thresholds = list(thresholds)
-    if thresholds != sorted(thresholds):
-        raise DataError(f"thresholds must be ascending, got {thresholds}")
+    thresholds = [float(t) for t in thresholds]
     if not thresholds:
         raise DataError("need at least one threshold")
-    array = np.asarray(values, dtype=float)
+    if not all(np.isfinite(thresholds)):
+        raise DataError(f"thresholds must be finite, got {thresholds}")
+    if any(b <= a for a, b in zip(thresholds, thresholds[1:])):
+        # A duplicate threshold makes a zero-width bucket no value can land
+        # in, so the code space would not be dense.
+        raise DataError(
+            f"thresholds must be strictly ascending, got {thresholds}"
+        )
+    array = _finite_column(values)
     codes = np.searchsorted(thresholds, array, side="right").astype(np.int32)
     if labels is None:
-        labels = []
-        labels.append(f"<{thresholds[0]:g}")
+        labels = [f"<{thresholds[0]:g}"]
         for low, high in zip(thresholds, thresholds[1:]):
             labels.append(f"[{low:g},{high:g})")
         labels.append(f">={thresholds[-1]:g}")
@@ -53,24 +92,25 @@ def bucketize_thresholds(
 def bucketize_equal_width(
     values: Sequence[float], buckets: int
 ) -> Tuple[np.ndarray, List[str]]:
-    """Bucketize into ``buckets`` equal-width intervals over the data range."""
+    """Bucketize into ``buckets`` equal-width intervals over the data range.
+
+    A constant column collapses to a single bucket (cardinality 1) rather
+    than padding out ``buckets`` labels: a :class:`Schema` built from the
+    result would otherwise claim provably-empty values and inflate the
+    pattern lattice.
+    """
     if buckets < 2:
         raise DataError(f"need at least 2 buckets, got {buckets}")
-    array = np.asarray(values, dtype=float)
-    if array.size == 0:
-        raise DataError("cannot bucketize an empty column")
+    array = _finite_column(values)
     low, high = float(array.min()), float(array.max())
     if low == high:
-        # Degenerate constant column: everything in bucket 0.
-        return np.zeros(len(array), dtype=np.int32), [f"[{low:g},{high:g}]"] + [
-            "(empty)"
-        ] * (buckets - 1)
+        # Degenerate constant column: one real bucket, cardinality 1.
+        return np.zeros(len(array), dtype=np.int32), [f"[{low:g},{high:g}]"]
     edges = np.linspace(low, high, buckets + 1)
     codes = np.clip(
         np.searchsorted(edges, array, side="right") - 1, 0, buckets - 1
     ).astype(np.int32)
-    labels = [f"[{edges[k]:g},{edges[k + 1]:g})" for k in range(buckets)]
-    return codes, labels
+    return codes, _interval_labels(edges)
 
 
 def bucketize_quantiles(
@@ -79,9 +119,7 @@ def bucketize_quantiles(
     """Bucketize into ``buckets`` (approximately) equal-population buckets."""
     if buckets < 2:
         raise DataError(f"need at least 2 buckets, got {buckets}")
-    array = np.asarray(values, dtype=float)
-    if array.size == 0:
-        raise DataError("cannot bucketize an empty column")
+    array = _finite_column(values)
     quantiles = np.quantile(array, np.linspace(0, 1, buckets + 1))
     # Collapse duplicate edges (heavy ties) so codes stay dense.
     edges = np.unique(quantiles)
@@ -90,5 +128,4 @@ def bucketize_quantiles(
     codes = np.clip(
         np.searchsorted(edges[1:-1], array, side="right"), 0, len(edges) - 2
     ).astype(np.int32)
-    labels = [f"[{edges[k]:g},{edges[k + 1]:g})" for k in range(len(edges) - 1)]
-    return codes, labels
+    return codes, _interval_labels(edges)

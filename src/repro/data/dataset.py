@@ -316,6 +316,15 @@ class Dataset:
         digest.update(np.ascontiguousarray(counts, dtype=np.int64).tobytes())
         return digest.hexdigest()
 
+    @property
+    def unique_cache_ready(self) -> bool:
+        """Whether :meth:`unique_rows` is already computed (or primed).
+
+        Derived datasets (roll-ups, shards) can aggregate the parent's
+        unique rows instead of re-sorting all ``n`` rows when this is set.
+        """
+        return self._unique_cache is not None
+
     def _prime_unique_cache(self, unique: np.ndarray, counts: np.ndarray) -> None:
         """Install a precomputed unique-row aggregation (trusted callers).
 

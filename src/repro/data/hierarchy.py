@@ -101,6 +101,55 @@ class AttributeHierarchy:
         """All fine codes rolled into ``group``."""
         return tuple(i for i, g in enumerate(self.groups) if g == group)
 
+    def compose(self, coarser: "AttributeHierarchy") -> "AttributeHierarchy":
+        """Chain two maps: ``self`` (base → mid) then ``coarser`` (mid → top).
+
+        The result maps the base codes straight to the top groups — the form
+        :func:`rollup` consumes.
+        """
+        if len(coarser.groups) != self.coarse_cardinality:
+            raise SchemaError(
+                f"cannot compose hierarchies for {self.attribute!r}: the "
+                f"coarser level maps {len(coarser.groups)} values but the "
+                f"finer level produces {self.coarse_cardinality} groups"
+            )
+        return AttributeHierarchy(
+            self.attribute,
+            tuple(coarser.groups[g] for g in self.groups),
+            coarser.group_labels,
+        )
+
+    def factor_through(self, coarser: "AttributeHierarchy") -> "AttributeHierarchy":
+        """The step map from ``self``'s groups to ``coarser``'s groups.
+
+        Both maps must share the same (base) domain, and ``coarser`` must be
+        a true coarsening of ``self``: whenever two base codes share a group
+        under ``self``, they must also share one under ``coarser``.  The
+        returned hierarchy maps ``self``'s group codes onto ``coarser``'s —
+        exactly the adjacent-level step a hierarchy stack drills through.
+        """
+        if len(coarser.groups) != len(self.groups):
+            raise SchemaError(
+                f"hierarchies for {self.attribute!r} map different domains "
+                f"({len(self.groups)} vs {len(coarser.groups)} base codes)"
+            )
+        step: List[Optional[int]] = [None] * self.coarse_cardinality
+        for base, mid in enumerate(self.groups):
+            top = coarser.groups[base]
+            if step[mid] is None:
+                step[mid] = top
+            elif step[mid] != top:
+                raise SchemaError(
+                    f"hierarchy for {self.attribute!r} does not factor: base "
+                    f"codes sharing group {mid} at the finer level land in "
+                    f"different groups ({step[mid]} vs {top}) at the coarser"
+                )
+        return AttributeHierarchy(
+            self.attribute,
+            tuple(g for g in step if g is not None),
+            coarser.group_labels,
+        )
+
 
 @dataclass(frozen=True)
 class Rollup:
@@ -161,6 +210,21 @@ def rollup(dataset: Dataset, hierarchies: Iterable[AttributeHierarchy]) -> Rollu
         labels={name: dataset.label(name) for name in dataset.label_names},
         validate=False,
     )
+    if dataset.unique_cache_ready and dataset.n > 0:
+        # Rolling up only merges value combinations, so the coarse
+        # aggregation follows from the base one: map the u unique base rows
+        # (u ≪ n) through the group maps and re-aggregate those instead of
+        # re-sorting all n rows — engine builds over the rolled dataset
+        # then skip their full unique pass.
+        base_unique, base_counts = dataset.unique_rows()
+        mapped = base_unique.copy()
+        for index, hierarchy in by_index.items():
+            mapping = np.asarray(hierarchy.groups, dtype=np.int32)
+            mapped[:, index] = mapping[mapped[:, index]]
+        unique, inverse = np.unique(mapped, axis=0, return_inverse=True)
+        counts = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(counts, inverse.reshape(-1), base_counts)
+        coarse._prime_unique_cache(unique.astype(np.int32), counts)
     return Rollup(coarse, by_index)
 
 

@@ -178,6 +178,7 @@ class HttpServer:
             ("POST", "/label"): self._handle_label,
             ("POST", "/identify"): self._handle_identify,
             ("POST", "/sweep"): self._handle_sweep,
+            ("POST", "/hierarchy"): self._handle_hierarchy,
             ("POST", "/enhance"): self._handle_enhance,
             ("POST", "/deliver"): self._handle_deliver,
         }
@@ -242,6 +243,15 @@ class HttpServer:
             bootstrap=body.get("bootstrap", 0),
             seed=body.get("seed", 0),
             max_level=body.get("max_level"),
+        )
+
+    async def _handle_hierarchy(self, body: Dict) -> Dict:
+        return await self.service.hierarchy(
+            self._require(body, "dataset"),
+            self._require(body, "hierarchies"),
+            self._require(body, "threshold"),
+            max_level=body.get("max_level"),
+            remedies=body.get("remedies", True),
         )
 
     async def _handle_enhance(self, body: Dict) -> Dict:

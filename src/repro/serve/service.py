@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.hierarchy import HierarchyStack, find_mups_hierarchical
 from repro.analysis.sweep import (
     SweepResult,
     parse_tau_range,
@@ -35,6 +36,7 @@ from repro.core.mups.base import ALGORITHMS, find_mups
 from repro.core.pattern import Pattern, X
 from repro.core.pattern_graph import PatternSpace
 from repro.data.dataset import Dataset
+from repro.data.hierarchy import AttributeHierarchy
 from repro.exceptions import ReproError, ServeError
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import CoverageBatcher
@@ -459,6 +461,130 @@ class CoverageService:
                     )
                 indices.append(index)
         return tuple(sorted(set(indices)))
+
+    # ------------------------------------------------------------------
+    # hierarchy: generalization-lattice MUPs
+    # ------------------------------------------------------------------
+    async def hierarchy(
+        self,
+        dataset_key: str,
+        hierarchies: Any,
+        threshold: Any,
+        max_level: Optional[Any] = None,
+        remedies: Any = True,
+    ) -> Dict:
+        """Hierarchical MUP search over a stack of generalization chains.
+
+        Coarsest rollup first, drilling down only into uncovered regions;
+        each finest-level MUP is reported with its most specific covered
+        generalization.  Cached per content fingerprint like ``/sweep`` —
+        the key embeds the chains, τ, and the level cap, so deliveries
+        make stale results unreachable and reclaimable.
+        """
+        snapshot = self._snapshot(dataset_key)
+        stack, canonical = self._parse_hierarchies(
+            hierarchies, snapshot.dataset
+        )
+        threshold = self._check_identify_args(threshold, "deepdiver")
+        try:
+            max_level = None if max_level is None else int(max_level)
+        except (TypeError, ValueError):
+            raise ServeError("bad_request", "max_level must be an integer")
+        remedies = bool(remedies)
+        key = (
+            "hierarchy",
+            snapshot.fingerprint,
+            canonical,
+            threshold,
+            max_level,
+            remedies,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        loop = asyncio.get_running_loop()
+        async with self.admission.heavy():
+            body = await loop.run_in_executor(
+                None,
+                lambda: self._run_hierarchy(
+                    snapshot, stack, threshold, max_level, remedies
+                ),
+            )
+        body.update(dataset=dataset_key, fingerprint=snapshot.fingerprint)
+        self.cache.put(key, dict(body))
+        return body
+
+    def _parse_hierarchies(
+        self, hierarchies: Any, dataset: Dataset
+    ) -> tuple:
+        """Wire chains → validated stack plus a hashable cache-key form.
+
+        Format: ``{"attr": [level, ...]}`` where each level maps the
+        attribute's base codes to group codes — a plain integer list or
+        ``{"groups": [...], "labels": [...]}``.
+        """
+        if not isinstance(hierarchies, dict) or not hierarchies:
+            raise ServeError(
+                "bad_request",
+                "hierarchies must be a non-empty object mapping attribute "
+                "names to lists of levels",
+            )
+        chains = {}
+        canonical = []
+        try:
+            for name, levels in sorted(hierarchies.items()):
+                if not isinstance(levels, (list, tuple)):
+                    raise ServeError(
+                        "bad_request",
+                        f"hierarchy chain for {name!r} must be a list",
+                    )
+                chain = []
+                key_levels = []
+                for level in levels:
+                    if isinstance(level, dict):
+                        groups = level.get("groups")
+                        labels = level.get("labels")
+                    else:
+                        groups, labels = level, None
+                    hierarchy = AttributeHierarchy.of(name, groups, labels)
+                    chain.append(hierarchy)
+                    key_levels.append(
+                        (hierarchy.groups, hierarchy.group_labels)
+                    )
+                chains[name] = chain
+                canonical.append((name, tuple(key_levels)))
+            stack = HierarchyStack.of(dataset, chains)
+        except ReproError as error:
+            raise ServeError("bad_request", str(error)) from error
+        except (TypeError, ValueError) as error:
+            raise ServeError(
+                "bad_request", f"malformed hierarchy spec: {error}"
+            ) from error
+        return stack, tuple(canonical)
+
+    def _run_hierarchy(
+        self,
+        snapshot: Snapshot,
+        stack: HierarchyStack,
+        threshold: int,
+        max_level: Optional[int],
+        remedies: bool,
+    ) -> Dict:
+        try:
+            result = find_mups_hierarchical(
+                snapshot.dataset,
+                stack,
+                threshold=threshold,
+                max_level=max_level,
+                oracle=snapshot.oracle,
+                remedies=remedies,
+            )
+        except ReproError as error:
+            raise ServeError("bad_request", str(error)) from error
+        body = result.as_dict()
+        body["depth"] = stack.depth
+        body["max_level"] = max_level
+        return body
 
     def _run_sweep(
         self,

@@ -1,4 +1,10 @@
-"""Unit tests for continuous-attribute bucketization (§II)."""
+"""Unit tests for continuous-attribute bucketization (§II).
+
+The regression classes pin the numeric-attribute bugfixes: non-finite
+rejection (NaN used to sort into the top bucket silently), strictly
+ascending thresholds, single-bucket constant columns, and the closed
+last-bucket label.
+"""
 
 import numpy as np
 import pytest
@@ -32,6 +38,16 @@ class TestThresholds:
         with pytest.raises(DataError):
             bucketize_thresholds([1], [5, 3])
 
+    def test_duplicate_thresholds_rejected(self):
+        # A non-strict check used to let [20, 20, 40] through, creating a
+        # zero-width bucket that no value could land in.
+        with pytest.raises(DataError, match="strictly ascending"):
+            bucketize_thresholds([1, 25], [20, 20, 40])
+
+    def test_non_finite_thresholds_rejected(self):
+        with pytest.raises(DataError, match="finite"):
+            bucketize_thresholds([1.0], [float("nan")])
+
     def test_empty_thresholds_rejected(self):
         with pytest.raises(DataError):
             bucketize_thresholds([1], [])
@@ -48,10 +64,20 @@ class TestEqualWidth:
         assert codes.tolist() == [0, 1, 2, 3, 3]
         assert len(labels) == 4
 
-    def test_constant_column(self):
+    def test_constant_column_single_bucket(self):
+        # A constant column used to return one real label padded with
+        # "(empty)" entries, so a Schema built from it claimed cardinality
+        # `buckets` and inflated the pattern lattice with empty values.
         codes, labels = bucketize_equal_width([3.0, 3.0], 3)
         assert codes.tolist() == [0, 0]
-        assert len(labels) == 3
+        assert labels == ["[3,3]"]
+
+    def test_last_bucket_label_closed(self):
+        # The max value is included in the last bucket, so its label must
+        # render closed: [7.5,10], not [7.5,10).
+        _codes, labels = bucketize_equal_width([0.0, 2.5, 5.0, 7.5, 10.0], 4)
+        assert labels[-1] == "[7.5,10]"
+        assert all(label.endswith(")") for label in labels[:-1])
 
     def test_requires_two_buckets(self):
         with pytest.raises(DataError):
@@ -79,6 +105,11 @@ class TestQuantiles:
         codes, labels = bucketize_quantiles([5.0] * 4, 3)
         assert codes.tolist() == [0, 0, 0, 0]
 
+    def test_last_bucket_label_closed(self):
+        _codes, labels = bucketize_quantiles([0.0, 1.0, 2.0, 3.0], 2)
+        assert labels[-1].endswith("]")
+        assert all(label.endswith(")") for label in labels[:-1])
+
     def test_requires_two_buckets(self):
         with pytest.raises(DataError):
             bucketize_quantiles([1.0, 2.0], 1)
@@ -86,3 +117,27 @@ class TestQuantiles:
     def test_empty_rejected(self):
         with pytest.raises(DataError):
             bucketize_quantiles([], 2)
+
+
+class TestNonFiniteRejection:
+    """NaN sorts after every float, so searchsorted used to drop NaN rows
+    silently into the top bucket in all three bucketizers."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_thresholds_rejects(self, bad):
+        with pytest.raises(DataError, match="non-finite"):
+            bucketize_thresholds([1.0, bad, 3.0], [2.0])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_equal_width_rejects(self, bad):
+        with pytest.raises(DataError, match="non-finite"):
+            bucketize_equal_width([1.0, bad, 3.0], 2)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_quantiles_rejects(self, bad):
+        with pytest.raises(DataError, match="non-finite"):
+            bucketize_quantiles([1.0, bad, 3.0], 2)
+
+    def test_error_names_the_offending_row(self):
+        with pytest.raises(DataError, match="row 1"):
+            bucketize_equal_width([1.0, float("nan"), 3.0], 2)

@@ -477,3 +477,193 @@ class TestAutoPlanner:
         output = capsys.readouterr().out
         assert "backend=sharded shards=3" in output
         assert "requested explicitly" in output
+
+
+@pytest.fixture
+def hierarchy_setup(tmp_path):
+    """A CSV whose every code is observed plus a matching stack spec."""
+    import json
+
+    rng = np.random.default_rng(9)
+    rows = rng.integers(0, [2, 3, 2], size=(60, 3)).tolist()
+    rows += [[0, 0, 0], [1, 1, 1], [0, 2, 0], [1, 2, 1], [0, 1, 0]]
+    path = tmp_path / "hier.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["color", "size", "shape"])
+        writer.writerows(rows)
+    spec = tmp_path / "stack.json"
+    spec.write_text(
+        json.dumps(
+            {
+                "size": [
+                    {"groups": [0, 0, 1], "labels": ["small", "large"]}
+                ],
+                "color": [[0, 0]],
+            }
+        )
+    )
+    return str(path), str(spec)
+
+
+@pytest.fixture
+def numeric_csv(tmp_path):
+    """A CSV mixing categorical columns with one numeric column."""
+    rng = np.random.default_rng(13)
+    path = tmp_path / "numeric.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["color", "size", "price"])
+        for _ in range(70):
+            writer.writerow(
+                [
+                    int(rng.integers(0, 2)),
+                    int(rng.integers(0, 3)),
+                    round(float(rng.lognormal(0.0, 1.0)), 3),
+                ]
+            )
+    return str(path)
+
+
+class TestHierarchyCommand:
+    def test_prints_level_table_and_remedies(self, hierarchy_setup, capsys):
+        path, spec = hierarchy_setup
+        code = main(
+            ["hierarchy", path, "--threshold", "5", "--hierarchy", spec]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "level" in output
+        assert "generalize" in output or "no covered generalization" in output
+
+    def test_no_remedies_flag(self, hierarchy_setup, capsys):
+        path, spec = hierarchy_setup
+        code = main(
+            [
+                "hierarchy",
+                path,
+                "--threshold",
+                "5",
+                "--hierarchy",
+                spec,
+                "--no-remedies",
+            ]
+        )
+        assert code == 0
+        assert "generalize to" not in capsys.readouterr().out
+
+    def test_json_output(self, hierarchy_setup, capsys):
+        import json
+
+        path, spec = hierarchy_setup
+        code = main(
+            [
+                "hierarchy",
+                path,
+                "--threshold",
+                "5",
+                "--hierarchy",
+                spec,
+                "--json",
+            ]
+        )
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert [entry["level"] for entry in body["levels"]] == [0, 1]
+        assert "remedies" in body
+
+    def test_bad_spec_returns_2(self, hierarchy_setup, tmp_path, capsys):
+        path, _spec = hierarchy_setup
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"size": [[0, 0, 7]]}')
+        code = main(
+            ["hierarchy", path, "--threshold", "5", "--hierarchy", str(bad)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_attribute_in_spec_returns_2(
+        self, hierarchy_setup, tmp_path, capsys
+    ):
+        path, _spec = hierarchy_setup
+        bad = tmp_path / "unknown.json"
+        bad.write_text('{"nope": [[0, 0]]}')
+        code = main(
+            ["hierarchy", path, "--threshold", "5", "--hierarchy", str(bad)]
+        )
+        assert code == 2
+
+
+class TestBucketSweepCommand:
+    def test_prints_sweep_table(self, numeric_csv, capsys):
+        code = main(
+            [
+                "bucketsweep",
+                numeric_csv,
+                "--column",
+                "price",
+                "--buckets",
+                "2",
+                "4",
+                "8",
+                "--threshold",
+                "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "buckets" in output
+
+    def test_json_output(self, numeric_csv, capsys):
+        import json
+
+        code = main(
+            [
+                "bucketsweep",
+                numeric_csv,
+                "--column",
+                "price",
+                "--buckets",
+                "2",
+                "4",
+                "--threshold",
+                "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert [point["buckets"] for point in body["points"]] == [2, 4]
+
+    def test_missing_column_returns_2(self, numeric_csv, capsys):
+        code = main(
+            [
+                "bucketsweep",
+                numeric_csv,
+                "--column",
+                "weight",
+                "--buckets",
+                "2",
+                "--threshold",
+                "4",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_nesting_buckets_return_2(self, numeric_csv, capsys):
+        code = main(
+            [
+                "bucketsweep",
+                numeric_csv,
+                "--column",
+                "price",
+                "--buckets",
+                "2",
+                "3",
+                "--threshold",
+                "4",
+            ]
+        )
+        assert code == 2
+        assert "nest" in capsys.readouterr().err

@@ -59,6 +59,39 @@ class TestAttributeHierarchy:
         with pytest.raises(SchemaError):
             AttributeHierarchy.of("state", [])
 
+    def test_compose_chains_base_to_top(self):
+        base_to_mid = AttributeHierarchy.of("zip", [0, 0, 1, 1, 2, 2])
+        mid_to_top = AttributeHierarchy.of("zip", [0, 0, 1], ["south", "north"])
+        composed = base_to_mid.compose(mid_to_top)
+        assert composed.groups == (0, 0, 0, 0, 1, 1)
+        assert composed.group_labels == ("south", "north")
+
+    def test_compose_domain_checked(self):
+        base_to_mid = AttributeHierarchy.of("zip", [0, 0, 1, 1])
+        wrong = AttributeHierarchy.of("zip", [0, 1, 1])
+        with pytest.raises(SchemaError, match="cannot compose"):
+            base_to_mid.compose(wrong)
+
+    def test_factor_through_recovers_step_map(self):
+        fine = AttributeHierarchy.of("zip", [0, 0, 1, 1, 2, 2])
+        coarse = AttributeHierarchy.of("zip", [0, 0, 0, 0, 1, 1])
+        step = fine.factor_through(coarse)
+        assert step.groups == (0, 0, 1)
+        # chaining the step after the fine map reproduces the coarse map
+        assert fine.compose(step).groups == coarse.groups
+
+    def test_factor_through_rejects_crossing_groups(self):
+        fine = AttributeHierarchy.of("zip", [0, 0, 1, 1])
+        crossing = AttributeHierarchy.of("zip", [0, 1, 1, 1])
+        with pytest.raises(SchemaError, match="does not factor"):
+            fine.factor_through(crossing)
+
+    def test_factor_through_domain_checked(self):
+        fine = AttributeHierarchy.of("zip", [0, 0, 1, 1])
+        other = AttributeHierarchy.of("zip", [0, 0, 1])
+        with pytest.raises(SchemaError, match="different domains"):
+            fine.factor_through(other)
+
 
 class TestRollup:
     HIERARCHY = AttributeHierarchy.of("state", [0, 0, 1, 1], ["midwest", "west"])

@@ -716,6 +716,132 @@ def http_call(server, method, path, body=None):
         connection.close()
 
 
+def _drop_seconds(body):
+    """Strip wall-clock timings so response bodies compare deterministically."""
+    if isinstance(body, dict):
+        return {
+            key: _drop_seconds(value)
+            for key, value in body.items()
+            if key != "seconds"
+        }
+    if isinstance(body, list):
+        return [_drop_seconds(item) for item in body]
+    return body
+
+
+class TestHierarchyEndpoint:
+    SPEC = {"A2": [[0, 0, 1]], "A1": [[0, 0]]}
+
+    def reference(self, dataset, threshold, max_level=None, remedies=True):
+        from repro.analysis.hierarchy import (
+            HierarchyStack,
+            find_mups_hierarchical,
+        )
+        from repro.data.hierarchy import AttributeHierarchy
+
+        stack = HierarchyStack.of(
+            dataset,
+            {
+                name: [AttributeHierarchy.of(name, level) for level in chain]
+                for name, chain in self.SPEC.items()
+            },
+        )
+        return find_mups_hierarchical(
+            dataset,
+            stack,
+            threshold=threshold,
+            max_level=max_level,
+            remedies=remedies,
+        )
+
+    def test_hierarchy_matches_library(self):
+        dataset = make_random_dataset(41, n=70)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            return await service.hierarchy(key, self.SPEC, 4)
+
+        body = run_service(service_config(), scenario)
+        expected = self.reference(dataset, 4).as_dict()
+        assert body["depth"] == 1
+        assert _drop_seconds(body["levels"]) == _drop_seconds(expected["levels"])
+        assert body["remedies"] == expected["remedies"]
+
+    def test_hierarchy_max_level_and_no_remedies(self):
+        dataset = make_random_dataset(43, n=60)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            return await service.hierarchy(
+                key, self.SPEC, 3, max_level=1, remedies=False
+            )
+
+        body = run_service(service_config(), scenario)
+        expected = self.reference(
+            dataset, 3, max_level=1, remedies=False
+        ).as_dict()
+        assert _drop_seconds(body["levels"]) == _drop_seconds(expected["levels"])
+        assert body["remedies"] == []
+        assert body["max_level"] == 1
+
+    def test_hierarchy_results_are_cached(self):
+        dataset = make_random_dataset(47, n=60)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            first = await service.hierarchy(key, self.SPEC, 4)
+            second = await service.hierarchy(key, self.SPEC, 4)
+            return first, second, service.cache.info()
+
+        first, second, cache_info = run_service(service_config(), scenario)
+        assert first == second
+        assert cache_info["hits"] >= 1
+
+    def test_hierarchy_bad_inputs(self):
+        dataset = make_random_dataset(51, n=40)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            errors = {}
+            for name, call in {
+                "spec_type": service.hierarchy(key, ["A1"], 4),
+                "empty_spec": service.hierarchy(key, {}, 4),
+                "chain_type": service.hierarchy(key, {"A1": 3}, 4),
+                "sparse_codes": service.hierarchy(key, {"A1": [[0, 7]]}, 4),
+                "wrong_domain": service.hierarchy(
+                    key, {"A1": [[0, 0, 1]]}, 4
+                ),
+                "threshold": service.hierarchy(key, self.SPEC, 0),
+                "max_level": service.hierarchy(
+                    key, self.SPEC, 4, max_level="deep"
+                ),
+            }.items():
+                try:
+                    await call
+                except ServeError as error:
+                    errors[name] = error.code
+            return errors
+
+        errors = run_service(service_config(), scenario)
+        assert set(errors.values()) == {"bad_request"}
+        assert len(errors) == 7
+
+    def test_delivery_invalidates_hierarchy_results(self):
+        dataset = make_random_dataset(53, n=60)
+
+        async def scenario(service):
+            key = await register(service, dataset)
+            before = await service.hierarchy(key, self.SPEC, 4)
+            await service.deliver(
+                key, [dataset.rows[0].tolist()] * 3, threshold=2
+            )
+            after = await service.hierarchy(key, self.SPEC, 4)
+            return before, after
+
+        before, after = run_service(service_config(), scenario)
+        assert before["fingerprint"] != after["fingerprint"]
+
+
 class TestHttpEndToEnd:
     def test_full_request_cycle(self, example1_dataset):
         rows = example1_dataset.rows.tolist()
@@ -758,6 +884,33 @@ class TestHttpEndToEnd:
             status, stats = http_call(server, "GET", "/stats")
             assert status == 200
             assert stats["registry"]["entries"] == 1
+
+    def test_hierarchy_route(self):
+        dataset = make_random_dataset(57, n=60)
+        with BackgroundServer(service_config()) as server:
+            _, reg = http_call(
+                server, "POST", "/datasets",
+                {"rows": dataset.rows.tolist()},
+            )
+            key = reg["dataset"]
+
+            status, body = http_call(
+                server, "POST", "/hierarchy",
+                {
+                    "dataset": key,
+                    "hierarchies": {"A2": [[0, 0, 1]]},
+                    "threshold": 4,
+                },
+            )
+            assert status == 200
+            assert body["depth"] == 1
+            assert [entry["level"] for entry in body["levels"]] == [0, 1]
+
+            status, bad = http_call(
+                server, "POST", "/hierarchy",
+                {"dataset": key, "threshold": 4},
+            )
+            assert status == 400 and "hierarchies" in bad["message"]
 
     def test_error_statuses(self, example1_dataset):
         with BackgroundServer(service_config()) as server:
